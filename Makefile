@@ -1,0 +1,22 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench validate results clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:            ## regenerate every table/figure into benchmarks/results/
+	pytest benchmarks/ --benchmark-only
+
+validate:         ## the 11-claim reproduction scorecard
+	python -m repro validate
+
+results: bench
+	@echo "regenerated tables:" && ls benchmarks/results/
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,40 @@
+"""Shared fixtures for the reproduction benchmark harness.
+
+One session-scoped :class:`~repro.experiments.runner.Runner` backs every
+bench, so traces, compiled kernels, and simulations are shared across
+tables/figures exactly as the paper's trace-driven methodology shares
+traces across configurations.
+
+Each bench writes its regenerated table to ``benchmarks/results/`` for
+side-by-side comparison with the paper (see EXPERIMENTS.md).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import Runner
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Workload scale used by the harness; override with REPRO_SCALE.
+import os
+
+SCALE = os.environ.get("REPRO_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def rn():
+    return Runner(SCALE)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,48 @@
+"""Benchmarks: design-choice ablations (DESIGN.md section 6).
+
+* strict cluster-port banks vs the paper's per-bank conflict model (the
+  simple-vs-enhanced scatter/gather comparison, paper: ~0.5%);
+* register-file hierarchy disabled (the "key enabler" study): MRF
+  traffic and arbitration conflicts multiply.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_cluster_port(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: ablations.run_cluster_port(runner=rn), rounds=1, iterations=1
+    )
+    save_result("ablation_cluster_port", result.format())
+
+
+def test_ablation_no_hierarchy(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: ablations.run_no_hierarchy(runner=rn), rounds=1, iterations=1
+    )
+    lines = [result.format(), ""]
+    for row in result.rows:
+        lines.append(
+            f"{row.name}: MRF reads {row.extra['mrf_reads_with']} -> "
+            f"{row.extra['mrf_reads_without']} without hierarchy; "
+            f"conflict cycles {row.extra['conflicts_with']} -> "
+            f"{row.extra['conflicts_without']}"
+        )
+    save_result("ablation_no_hierarchy", "\n".join(lines))
+
+
+def test_ablation_orf_size(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: ablations.run_orf_size(runner=rn), rounds=1, iterations=1
+    )
+    lines = [result.format(), ""]
+    for row in result.rows:
+        lines.append(f"{row.name}: MRF reads by ORF size {row.extra['mrf_reads']}")
+    save_result("ablation_orf_size", "\n".join(lines))
+
+
+def test_ablation_cache_associativity(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: ablations.run_cache_associativity(runner=rn), rounds=1, iterations=1
+    )
+    save_result("ablation_cache_associativity", result.format())

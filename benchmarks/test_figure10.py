@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 10: Fermi-like limited flexibility of the paper.
+
+Runs the full figure10 experiment and records both the wall time
+(pytest-benchmark) and the regenerated table (benchmarks/results/).
+"""
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: figure10.run(runner=rn), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_result("figure10", result.format())

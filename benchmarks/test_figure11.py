@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 11: needle blocking-factor tuning of the paper.
+
+Runs the full figure11 experiment and records both the wall time
+(pytest-benchmark) and the regenerated table (benchmarks/results/).
+"""
+
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: figure11.run(runner=rn), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_result("figure11", result.format())

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 2: performance vs register file capacity of the paper.
+
+Runs the full figure2 experiment and records both the wall time
+(pytest-benchmark) and the regenerated table (benchmarks/results/).
+"""
+
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: figure2.run(runner=rn), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_result("figure2", result.format())

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 3: performance vs shared memory capacity of the paper.
+
+Runs the full figure3 experiment and records both the wall time
+(pytest-benchmark) and the regenerated table (benchmarks/results/).
+"""
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: figure3.run(runner=rn), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_result("figure3", result.format())

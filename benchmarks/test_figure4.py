@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 4: performance vs cache capacity of the paper.
+
+Runs the full figure4 experiment and records both the wall time
+(pytest-benchmark) and the regenerated table (benchmarks/results/).
+"""
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: figure4.run(runner=rn), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_result("figure4", result.format())

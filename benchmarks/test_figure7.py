@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 7: no-benefit applications of the paper.
+
+Runs the full figure7 experiment and records both the wall time
+(pytest-benchmark) and the regenerated table (benchmarks/results/).
+"""
+
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: figure7.run(runner=rn), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_result("figure7", result.format())

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 8: unified memory partitioning of the paper.
+
+Runs the full figure8 experiment and records both the wall time
+(pytest-benchmark) and the regenerated table (benchmarks/results/).
+"""
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: figure8.run(runner=rn), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_result("figure8", result.format())

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 9: benefit applications of the paper.
+
+Runs the full figure9 experiment and records both the wall time
+(pytest-benchmark) and the regenerated table (benchmarks/results/).
+"""
+
+from repro.experiments import figure9
+
+
+def test_figure9(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: figure9.run(runner=rn), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_result("figure9", result.format())

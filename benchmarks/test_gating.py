@@ -1,0 +1,10 @@
+"""Benchmark: power-gating unneeded unified memory (Section 8 extension)."""
+
+from repro.experiments import gating
+
+
+def test_gating(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: gating.run(runner=rn), rounds=1, iterations=1
+    )
+    save_result("gating", result.format())

@@ -1,0 +1,16 @@
+"""Benchmark: the irregular-workload extension study (Sections 1 and 8).
+
+Emulator-traced divergent kernels under baseline vs unified: the
+measurable form of the paper's "broadens the scope of applications"
+argument.
+"""
+
+from repro.experiments import irregular
+from conftest import SCALE
+
+
+def test_irregular(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: irregular.run(SCALE), rounds=1, iterations=1
+    )
+    save_result("irregular", result.format())

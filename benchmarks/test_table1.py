@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1: workload characterisation of the paper.
+
+Runs the full table1 experiment and records both the wall time
+(pytest-benchmark) and the regenerated table (benchmarks/results/).
+"""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: table1.run(runner=rn), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_result("table1", result.format())

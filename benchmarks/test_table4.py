@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 4: SRAM bank access energies of the paper.
+
+Runs the full table4 experiment and records both the wall time
+(pytest-benchmark) and the regenerated table (benchmarks/results/).
+"""
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: table4.run(), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_result("table4", result.format())

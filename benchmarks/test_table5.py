@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 5: bank-conflict breakdown of the paper.
+
+Runs the full table5 experiment and records both the wall time
+(pytest-benchmark) and the regenerated table (benchmarks/results/).
+"""
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: table5.run(runner=rn), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_result("table5", result.format())

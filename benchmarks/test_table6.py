@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 6: capacity sensitivity of the paper.
+
+Runs the full table6 experiment and records both the wall time
+(pytest-benchmark) and the regenerated table (benchmarks/results/).
+"""
+
+from repro.experiments import table6
+
+
+def test_table6(benchmark, rn, save_result):
+    result = benchmark.pedantic(
+        lambda: table6.run(runner=rn), rounds=1, iterations=1, warmup_rounds=0
+    )
+    save_result("table6", result.format())

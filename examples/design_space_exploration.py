@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Design-space exploration: how much unified memory does an SM need?
+
+Sweeps the unified pool capacity for one benchmark (Table 6 style, with
+a finer grid), reporting performance, energy, and the allocator's chosen
+split at each point, then recommends the smallest capacity within 2% of
+peak performance and the lowest-energy capacity -- the Section 6.4
+trade-off ("future systems could exploit this fact by disabling
+unneeded memory").
+
+Run:  python examples/design_space_exploration.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro import (
+    AllocationError,
+    EnergyModel,
+    allocate_unified,
+    compile_kernel,
+    get_benchmark,
+    partitioned_baseline,
+    simulate,
+)
+from repro.core.partition import KB
+
+CAPACITIES_KB = (96, 128, 160, 192, 224, 256, 320, 384, 448, 512)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "pcr"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "small"
+
+    bench = get_benchmark(name)
+    trace = bench.build(scale)
+    kernel = compile_kernel(trace)
+    model = EnergyModel()
+
+    baseline = simulate(kernel, partitioned_baseline())
+    base_energy = model.evaluate(baseline).total_j
+
+    print(f"# {name}: unified capacity sweep (vs 384KB partitioned baseline)")
+    print(f"{'KB':>5} {'speedup':>8} {'energy':>7} {'threads':>8} "
+          f"{'RF':>6} {'smem':>6} {'cache':>6}")
+    sweep = []
+    for cap in CAPACITIES_KB:
+        try:
+            alloc = allocate_unified(
+                cap * KB,
+                regs_per_thread=kernel.regs_per_thread,
+                threads_per_cta=trace.launch.threads_per_cta,
+                smem_bytes_per_cta=trace.launch.smem_bytes_per_cta,
+            )
+        except AllocationError:
+            print(f"{cap:>5} {'does not fit one CTA':>30}")
+            continue
+        run = simulate(kernel, alloc.partition)
+        energy = model.evaluate(run, baseline_cycles=baseline.cycles).total_j
+        speedup = run.speedup_over(baseline)
+        sweep.append((cap, speedup, energy / base_energy))
+        p = alloc.partition
+        print(
+            f"{cap:>5} {speedup:>8.2f} {energy / base_energy:>7.2f} "
+            f"{alloc.resident_threads:>8} {p.rf_kb:>6.1f} {p.smem_kb:>6.1f} "
+            f"{p.cache_kb:>6.1f}"
+        )
+
+    if not sweep:
+        return
+    peak = max(s for _, s, _ in sweep)
+    right_sized = next(cap for cap, s, _ in sweep if s >= 0.98 * peak)
+    lowest_energy = min(sweep, key=lambda row: row[2])
+    print(f"\nsmallest capacity within 2% of peak: {right_sized} KB")
+    print(
+        f"lowest-energy capacity: {lowest_energy[0]} KB "
+        f"({lowest_energy[2]:.2f}x baseline energy)"
+    )
+
+
+if __name__ == "__main__":
+    main()

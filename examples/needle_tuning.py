@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Application tuning over the unified design space (paper Section 6.5).
+
+needle's blocking factor trades shared-memory footprint (quadratic in
+the factor) against work efficiency.  On a fixed 64 KB scratchpad only
+bf<=32 is viable; unified memory opens the whole range.  This example
+sweeps blocking factor x thread count, prints the frontier, and answers
+the practical question: *given a memory budget, which configuration
+should I ship?*
+
+Run:  python examples/needle_tuning.py [scale]
+"""
+
+import sys
+
+from repro import compile_kernel, partitioned_design, simulate
+from repro.kernels.needle import build, smem_bytes_for
+from repro.sm.cta_scheduler import LaunchError
+
+BLOCKING_FACTORS = (16, 32, 64)
+THREADS = (64, 128, 256, 512, 768, 1024)
+BUDGETS_KB = (16, 48, 64, 128, 256, 520)
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    results = []  # (bf, threads, smem_kb, cycles)
+    for bf in BLOCKING_FACTORS:
+        kernel = compile_kernel(build(scale, blocking_factor=bf))
+        tpc = kernel.launch.threads_per_cta
+        for threads in THREADS:
+            if threads % tpc:
+                continue
+            ctas = threads // tpc
+            smem_kb = (ctas * smem_bytes_for(bf) + 1023) // 1024
+            part = partitioned_design(256, smem_kb, 64)
+            try:
+                run = simulate(kernel, part, thread_target=threads)
+            except LaunchError:
+                continue
+            results.append((bf, threads, smem_kb, run.cycles))
+
+    best = min(r[3] for r in results)
+    print(f"{'bf':>4} {'threads':>8} {'smem KB':>8} {'perf':>6}")
+    for bf, threads, smem_kb, cycles in results:
+        print(f"{bf:>4} {threads:>8} {smem_kb:>8} {best / cycles:>6.2f}")
+
+    print("\nbest configuration per shared-memory budget:")
+    for budget in BUDGETS_KB:
+        feasible = [r for r in results if r[2] <= budget]
+        if not feasible:
+            print(f"  {budget:>4} KB: nothing fits")
+            continue
+        bf, threads, smem_kb, cycles = min(feasible, key=lambda r: r[3])
+        print(
+            f"  {budget:>4} KB: bf={bf}, {threads} threads "
+            f"({smem_kb} KB used, {best / cycles:.2f} of peak)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one benchmark under three memory designs.
+
+Builds the `needle` (Needleman-Wunsch) benchmark trace, compiles it, and
+runs it on a single simulated SM under:
+
+1. the hard-partitioned baseline (256 KB RF / 64 KB shared / 64 KB cache),
+2. the Fermi-like limited-flexibility design (better of the two splits),
+3. the fully unified 384 KB design, partitioned by the paper's
+   Section 4.5 algorithm.
+
+Run:  python examples/quickstart.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro import (
+    EnergyModel,
+    allocate_unified,
+    compile_kernel,
+    fermi_like,
+    get_benchmark,
+    partitioned_baseline,
+    simulate,
+)
+from repro.core.partition import KB
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "needle"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "small"
+
+    bench = get_benchmark(name)
+    print(f"# {bench.name}: {bench.description} [{bench.category.value}]")
+    trace = bench.build(scale)
+    kernel = compile_kernel(trace)  # no-spill register budget
+    print(
+        f"trace: {trace.total_ops} warp instructions, "
+        f"{trace.launch.num_ctas} CTAs x {trace.launch.threads_per_cta} threads, "
+        f"{kernel.regs_per_thread} registers/thread, "
+        f"{trace.launch.smem_bytes_per_cta} B shared/CTA"
+    )
+
+    energy_model = EnergyModel()
+    baseline = simulate(kernel, partitioned_baseline())
+    base_energy = energy_model.evaluate(baseline)
+    print(f"\nbaseline   : {baseline.summary()}")
+
+    from repro.sm.cta_scheduler import LaunchError
+
+    fermi_runs = []
+    for split in (0, 1):
+        try:
+            fermi_runs.append(simulate(kernel, fermi_like(split)))
+        except LaunchError:
+            pass
+    rows = []
+    if fermi_runs:
+        fermi = min(fermi_runs, key=lambda r: r.cycles)
+        rows.append(("fermi-like", fermi))
+
+    alloc = allocate_unified(
+        384 * KB,
+        regs_per_thread=kernel.regs_per_thread,
+        threads_per_cta=trace.launch.threads_per_cta,
+        smem_bytes_per_cta=trace.launch.smem_bytes_per_cta,
+    )
+    unified = simulate(kernel, alloc.partition)
+    rows.append(("unified", unified))
+
+    for label, run in rows:
+        energy = energy_model.evaluate(run, baseline_cycles=baseline.cycles)
+        print(f"{label:11s}: {run.summary()}")
+        print(
+            f"             speedup {run.speedup_over(baseline):.2f}x | "
+            f"energy {energy.total_j / base_energy.total_j:.2f}x | "
+            f"DRAM {run.dram_traffic_ratio(baseline):.2f}x"
+        )
+    print(f"\nchosen unified split: {alloc.partition.describe()}")
+    print(f"resident threads: {alloc.resident_threads} ({alloc.resident_ctas} CTAs)")
+
+
+if __name__ == "__main__":
+    main()

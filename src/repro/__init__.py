@@ -1,0 +1,85 @@
+"""repro: unified GPU local memory, reproduced.
+
+A from-scratch Python reproduction of *Unifying Primary Cache, Scratch,
+and Register File Memories in a Throughput Processor* (Gebhart, Keckler,
+Khailany, Krashinsky, Dally -- MICRO 2012): a trace-driven single-SM GPU
+simulator with a compile-time register-file hierarchy, banked memory
+models for the hard-partitioned and unified designs, the Section 4.5
+capacity allocator, an analytic energy model, the 26-benchmark Table 1
+workload suite, and experiment drivers that regenerate every table and
+figure of the paper's evaluation.
+
+Typical flow::
+
+    from repro import (
+        get_benchmark, compile_kernel, simulate,
+        partitioned_baseline, allocate_unified, EnergyModel,
+    )
+
+    trace = get_benchmark("needle").build("small")
+    kernel = compile_kernel(trace)
+    base = simulate(kernel, partitioned_baseline())
+    alloc = allocate_unified(384 * 1024, kernel.regs_per_thread,
+                             trace.launch.threads_per_cta,
+                             trace.launch.smem_bytes_per_cta)
+    unified = simulate(kernel, alloc.partition)
+    print(unified.speedup_over(base))
+
+See ``repro.experiments`` for the per-table/figure drivers.
+"""
+
+from repro.compiler import CompiledKernel, compile_kernel, max_live_registers
+from repro.core import (
+    AllocationError,
+    DesignStyle,
+    MemoryPartition,
+    allocate_unified,
+    fermi_like,
+    fermi_like_best_split,
+    max_resident_threads,
+    occupancy_limits,
+    partitioned_baseline,
+    partitioned_design,
+)
+from repro.energy import EnergyBreakdown, EnergyModel, EnergyParams, bank_energy
+from repro.isa import KernelTrace, LaunchConfig, WarpBuilder
+from repro.kernels import (
+    BENEFIT_SET,
+    NO_BENEFIT_SET,
+    all_benchmarks,
+    get_benchmark,
+)
+from repro.sm import SMConfig, SimResult, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationError",
+    "BENEFIT_SET",
+    "CompiledKernel",
+    "DesignStyle",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParams",
+    "KernelTrace",
+    "LaunchConfig",
+    "MemoryPartition",
+    "NO_BENEFIT_SET",
+    "SMConfig",
+    "SimResult",
+    "WarpBuilder",
+    "all_benchmarks",
+    "allocate_unified",
+    "bank_energy",
+    "compile_kernel",
+    "fermi_like",
+    "fermi_like_best_split",
+    "get_benchmark",
+    "max_live_registers",
+    "max_resident_threads",
+    "occupancy_limits",
+    "partitioned_baseline",
+    "partitioned_design",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,265 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    The benchmark suite with Table 1 metadata.
+``run BENCH``
+    Simulate one benchmark under a design (baseline / fermi / unified)
+    and print timing, traffic, and energy against the baseline.
+``experiment ID``
+    Regenerate one of the paper's tables/figures (``table1``,
+    ``figure2`` ... ``figure11``, ``ablation-cluster-port``,
+    ``ablation-no-hierarchy``).
+``autotune BENCH``
+    Sweep thread targets under a unified capacity (Section 4.5 remark).
+``sweep BENCH``
+    Capacity sweep (Table 6 style) for one benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.partition import KB
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Unified GPU local memory (MICRO 2012), reproduced.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    run.add_argument("benchmark")
+    run.add_argument("--design", choices=("baseline", "fermi", "unified"),
+                     default="unified")
+    run.add_argument("--capacity", type=int, default=384, metavar="KB",
+                     help="unified pool capacity in KB (default 384)")
+    run.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    run.add_argument("--threads", type=int, default=None,
+                     help="thread target (default: occupancy decides)")
+    run.add_argument("--regs", type=int, default=None,
+                     help="registers/thread (default: no-spill budget)")
+    run.add_argument("--show-layout", action="store_true",
+                     help="render the design's bank layout (paper Figs 5-6)")
+    run.add_argument("--chip", action="store_true",
+                     help="scale the result to the 32-SM, 130 W chip (paper 5.2)")
+
+    exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp.add_argument("id", help="table1, figure2..figure11, table4..table6, "
+                                "ablation-cluster-port, ablation-no-hierarchy")
+    exp.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    exp.add_argument("--plot", action="store_true",
+                     help="also render ASCII line plots (figure4 / figure11)")
+
+    at = sub.add_parser("autotune", help="thread-count autotuning")
+    at.add_argument("benchmark")
+    at.add_argument("--capacity", type=int, default=384, metavar="KB")
+    at.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+
+    val = sub.add_parser("validate", help="run the reproduction scorecard")
+    val.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+
+    sw = sub.add_parser("sweep", help="capacity sweep for one benchmark")
+    sw.add_argument("benchmark")
+    sw.add_argument("--capacities", default="128,192,256,320,384,512",
+                    help="comma-separated KB values")
+    sw.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.report import format_table
+    from repro.kernels import all_benchmarks
+
+    rows = [
+        [
+            bm.name,
+            bm.category.value,
+            bm.paper_regs,
+            bm.paper_smem_bytes_per_thread,
+            "yes" if bm.benefits else "no",
+            bm.description,
+        ]
+        for bm in all_benchmarks()
+    ]
+    print(
+        format_table(
+            ["benchmark", "category", "regs", "smem B/t", "benefits", "description"],
+            rows,
+            title="Benchmark suite (paper Table 1)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.energy import EnergyModel
+    from repro.experiments.runner import Runner
+
+    rn = Runner(args.scale)
+    base = rn.baseline(args.benchmark, regs=args.regs)
+    if args.design == "baseline":
+        result = base
+    elif args.design == "fermi":
+        result = rn.fermi_best(args.benchmark)
+    else:
+        result, alloc = rn.unified(
+            args.benchmark, total_kb=args.capacity, thread_target=args.threads
+        )
+        print(f"allocation: {alloc.partition.describe()}")
+    if args.show_layout:
+        from repro.core.diagram import bank_layout
+
+        print(bank_layout(result.partition))
+    print(result.summary())
+    if args.chip:
+        from repro.energy.chip import ChipModel
+
+        print(ChipModel().evaluate(result, baseline_cycles=base.cycles).summary())
+    if result is not base:
+        model = EnergyModel()
+        e_base = model.evaluate(base).total_j
+        e = model.evaluate(result, baseline_cycles=base.cycles).total_j
+        print(
+            f"vs baseline: speedup {result.speedup_over(base):.3f}x, "
+            f"energy {e / e_base:.3f}x, "
+            f"DRAM {result.dram_traffic_ratio(base):.3f}x"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ablations,
+        figure2,
+        figure3,
+        figure4,
+        figure7,
+        figure8,
+        figure9,
+        figure10,
+        figure11,
+        table1,
+        table4,
+        table5,
+        table6,
+    )
+    from repro.experiments.runner import Runner
+
+    registry = {
+        "table1": table1.run,
+        "figure2": figure2.run,
+        "figure3": figure3.run,
+        "figure4": figure4.run,
+        "table4": lambda **kw: table4.run(),
+        "table5": table5.run,
+        "figure7": figure7.run,
+        "figure8": figure8.run,
+        "figure9": figure9.run,
+        "figure10": figure10.run,
+        "table6": table6.run,
+        "figure11": figure11.run,
+        "ablation-cluster-port": ablations.run_cluster_port,
+        "ablation-no-hierarchy": ablations.run_no_hierarchy,
+        "irregular": lambda runner=None, **kw: _irregular(runner),
+    }
+
+    def _irregular(runner):
+        from repro.experiments import irregular as irr
+
+        return irr.run(args.scale)
+    if args.id not in registry:
+        print(f"unknown experiment {args.id!r}; choose from: "
+              f"{', '.join(sorted(registry))}", file=sys.stderr)
+        return 2
+    fn = registry[args.id]
+    kwargs = {} if args.id == "table4" else {"runner": Runner(args.scale)}
+    result = fn(**kwargs)
+    print(result.format())
+    if getattr(args, "plot", False):
+        from repro.experiments import plots
+
+        if args.id == "figure4":
+            for bench in sorted({p.benchmark for p in result.points}):
+                print()
+                print(plots.plot_figure4(result, bench))
+        elif args.id == "figure11":
+            print()
+            print(plots.plot_figure11(result))
+    return 0
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    from repro.core import autotune_threads
+    from repro.experiments.runner import Runner
+
+    rn = Runner(args.scale)
+    res = autotune_threads(rn.compiled(args.benchmark), args.capacity * KB)
+    print(f"{'threads':>8} {'cycles':>10} {'cache KB':>9}")
+    for p in sorted(res.points, key=lambda p: p.threads):
+        marker = "  <-- best" if p is res.best else ""
+        print(
+            f"{p.threads:>8} {p.result.cycles:>10.0f} "
+            f"{p.allocation.partition.cache_kb:>9.1f}{marker}"
+        )
+    print(f"gain over max-threads: {res.gain_over_max_threads:.3f}x")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core import AllocationError
+    from repro.energy import EnergyModel
+    from repro.experiments.runner import Runner
+
+    rn = Runner(args.scale)
+    base = rn.baseline(args.benchmark)
+    model = EnergyModel()
+    e_base = model.evaluate(base).total_j
+    print(f"{'KB':>5} {'speedup':>8} {'energy':>7} {'dram':>6}")
+    for cap in (int(c) for c in args.capacities.split(",")):
+        try:
+            result, _ = rn.unified(args.benchmark, total_kb=cap)
+        except AllocationError:
+            print(f"{cap:>5} {'(does not fit)':>20}")
+            continue
+        e = model.evaluate(result, baseline_cycles=base.cycles).total_j
+        print(
+            f"{cap:>5} {result.speedup_over(base):>8.3f} {e / e_base:>7.3f} "
+            f"{result.dram_traffic_ratio(base):>6.3f}"
+        )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments import validate
+    from repro.experiments.runner import Runner
+
+    card = validate.run(runner=Runner(args.scale))
+    print(card.format())
+    return 0 if card.passed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    dispatch = {
+        "list": lambda: _cmd_list(),
+        "run": lambda: _cmd_run(args),
+        "experiment": lambda: _cmd_experiment(args),
+        "autotune": lambda: _cmd_autotune(args),
+        "sweep": lambda: _cmd_sweep(args),
+        "validate": lambda: _cmd_validate(args),
+    }
+    try:
+        return dispatch[args.command]()
+    except BrokenPipeError:  # e.g. `python -m repro list | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Compile-time passes that lower kernel traces for the SM simulator.
+
+The paper's SM relies on two compiler-managed mechanisms that this
+package reproduces:
+
+1. **Register allocation with spills** (Section 3.1).  Kernels emit
+   streams over virtual registers; :mod:`repro.compiler.regalloc` runs a
+   linear-scan allocator with Belady (furthest-next-use) eviction for a
+   given architectural register budget and inserts ``LOAD_LOCAL`` /
+   ``STORE_LOCAL`` spill code.  The no-spill requirement (Table 1,
+   column 2) is the maximum number of simultaneously live values
+   (:func:`repro.compiler.liveness.max_live_registers`).
+
+2. **Software-controlled register file hierarchy** (Section 2.1,
+   refs [8, 9]).  :mod:`repro.compiler.rfhierarchy` tags every operand
+   with the level that serves it -- last result file (LRF, 1
+   entry/thread), operand register file (ORF, 4 entries/thread), or main
+   register file (MRF) -- using a greedy schedule that flushes live
+   values to the MRF at every deschedule point (long-latency ops and
+   barriers), exactly the contract of the two-level warp scheduler.
+   This pass is what reduces MRF bandwidth by ~60% and thereby enables
+   unification (Section 4.3).
+
+:func:`repro.compiler.pipeline.compile_kernel` chains the passes and
+produces the :class:`~repro.compiler.compiled.CompiledKernel` the timing
+simulator consumes.
+"""
+
+from repro.compiler.compiled import CompiledCTA, CompiledKernel, CompiledOp, CompiledWarp
+from repro.compiler.liveness import live_intervals, max_live_registers
+from repro.compiler.pipeline import compile_kernel, compile_warp
+from repro.compiler.regalloc import SpillSchedule, schedule_registers
+
+__all__ = [
+    "CompiledCTA",
+    "CompiledKernel",
+    "CompiledOp",
+    "CompiledWarp",
+    "SpillSchedule",
+    "compile_kernel",
+    "compile_warp",
+    "live_intervals",
+    "max_live_registers",
+    "schedule_registers",
+]

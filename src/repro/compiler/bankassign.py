@@ -1,0 +1,141 @@
+"""Bank-aware architectural register assignment.
+
+The paper notes that register bank conflicts "are rare and can be
+minimized with compiler techniques [27]" (Zhuang & Pande).  This pass
+implements that technique: after allocation and hierarchy tagging, the
+architectural registers that are read from MRF banks are re-labelled so
+that registers frequently read *together* land in different banks
+(``id % 4`` selects the bank, as in the hardware mapping).
+
+Greedy weighted assignment: build a co-occurrence weight between every
+pair of registers that appear in one instruction's MRF reads, then
+assign registers in decreasing total-weight order to the bank that
+minimises conflict weight with already-placed registers, subject to the
+per-bank capacity of a physical register file with ``ceil(R / 4)``
+entries per bank.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.partition import BANKS_PER_CLUSTER
+from repro.compiler.regalloc import ShapeOp
+from repro.compiler.rfhierarchy import OperandTags
+
+
+def bank_conflict_weight(groups: list[tuple[int, ...]], bank_of: dict[int, int]) -> int:
+    """Total conflict cycles of a bank assignment (for tests/diagnostics)."""
+    total = 0
+    for group in groups:
+        counts: dict[int, int] = {}
+        for r in group:
+            b = bank_of[r]
+            counts[b] = counts.get(b, 0) + 1
+        if counts:
+            total += max(counts.values()) - 1
+    return total
+
+
+def assign_banks(
+    shape: list[ShapeOp],
+    tags: list[OperandTags],
+    num_regs: int,
+    num_banks: int = BANKS_PER_CLUSTER,
+) -> dict[int, int]:
+    """Relabel architectural registers to minimise MRF bank conflicts.
+
+    Args:
+        shape: Architectural-register stream (after spill insertion).
+        tags: Hierarchy tags aligned with ``shape`` (MRF reads per op).
+        num_regs: Register budget (fixes per-bank capacity).
+        num_banks: Banks per cluster (4 in the paper's SM).
+
+    Returns:
+        Mapping from old register id to new register id, a bijection on
+        the used registers, such that ``new_id % num_banks`` is the
+        chosen bank.
+    """
+    groups = [t.mrf_reads for t in tags if len(t.mrf_reads) > 1]
+    used: set[int] = set()
+    for op, dst, srcs in shape:
+        used.update(srcs)
+        if dst is not None:
+            used.add(dst)
+    for t in tags:
+        used.update(t.mrf_reads)
+
+    weight: dict[tuple[int, int], int] = defaultdict(int)
+    total_weight: dict[int, int] = defaultdict(int)
+    for group in groups:
+        distinct = list(dict.fromkeys(group))
+        for i, a in enumerate(distinct):
+            for b in distinct[i + 1 :]:
+                key = (a, b) if a < b else (b, a)
+                weight[key] += 1
+                total_weight[a] += 1
+                total_weight[b] += 1
+
+    capacity = max(1, -(-num_regs // num_banks))
+    bank_load = [0] * num_banks
+    bank_of: dict[int, int] = {}
+    # Place conflict-prone registers first, then the rest.
+    order = sorted(used, key=lambda r: (-total_weight.get(r, 0), r))
+    neighbours: dict[int, list[int]] = defaultdict(list)
+    for (a, b), w in weight.items():
+        neighbours[a].append(b)
+        neighbours[b].append(a)
+    for r in order:
+        costs = [0.0] * num_banks
+        for other in neighbours.get(r, ()):  # weighted by co-occurrence
+            ob = bank_of.get(other)
+            if ob is not None:
+                key = (r, other) if r < other else (other, r)
+                costs[ob] += weight[key]
+        best = min(
+            range(num_banks),
+            key=lambda b: (
+                bank_load[b] >= capacity,  # full banks only as a last resort
+                costs[b],
+                bank_load[b],
+            ),
+        )
+        bank_of[r] = best
+        bank_load[best] += 1
+
+    # Turn bank choices into fresh register ids: id % num_banks == bank.
+    next_slot = [0] * num_banks
+    mapping: dict[int, int] = {}
+    for r in sorted(used):
+        b = bank_of[r]
+        mapping[r] = b + num_banks * next_slot[b]
+        next_slot[b] += 1
+    return mapping
+
+
+def remap_shape(
+    shape: list[ShapeOp], tags: list[OperandTags], mapping: dict[int, int]
+) -> tuple[list[ShapeOp], list[OperandTags]]:
+    """Apply a register relabelling to a stream and its tags."""
+    new_shape: list[ShapeOp] = []
+    for op, dst, srcs in shape:
+        new_shape.append(
+            (
+                op,
+                mapping[dst] if dst is not None else None,
+                tuple(mapping[s] for s in srcs),
+            )
+        )
+    new_tags = []
+    for t in tags:
+        new_tags.append(
+            OperandTags(
+                mrf_reads=tuple(mapping[r] for r in t.mrf_reads),
+                lrf_reads=t.lrf_reads,
+                orf_reads=t.orf_reads,
+                mrf_write=t.mrf_write,
+                lrf_write=t.lrf_write,
+                orf_write=t.orf_write,
+            )
+        )
+    return new_shape, new_tags

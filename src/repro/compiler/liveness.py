@@ -1,0 +1,71 @@
+"""Liveness analysis over warp instruction streams.
+
+Kernels emit dynamic straight-line streams (control flow is already
+resolved in the trace), so liveness is exact: the live interval of a
+virtual register spans from its first definition to its last appearance
+(read or write).  The peak number of overlapping intervals is the
+registers-per-thread requirement to avoid spills -- Table 1, column 2 of
+the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.isa.trace import WarpOp
+
+
+def live_intervals(ops: Sequence[WarpOp]) -> dict[int, tuple[int, int]]:
+    """Map each virtual register to its ``(first, last)`` position.
+
+    Positions index into ``ops``.  Registers that are read before any
+    write (undefined reads) are rejected -- kernels must produce every
+    value they consume.
+    """
+    first: dict[int, int] = {}
+    last: dict[int, int] = {}
+    for i, op in enumerate(ops):
+        for r in op.srcs:
+            if r not in first:
+                raise ValueError(f"op {i} reads virtual register {r} before definition")
+            last[r] = i
+        if op.dst is not None:
+            first.setdefault(op.dst, i)
+            last[op.dst] = i
+    return {r: (first[r], last[r]) for r in first}
+
+
+def max_live_registers(ops: Sequence[WarpOp]) -> int:
+    """Peak simultaneous live values -- the no-spill register requirement.
+
+    An instruction's sources and destination are live simultaneously
+    (the destination is written while sources are still being read), so
+    the peak is measured *at* each instruction, counting intervals that
+    cover it.
+    """
+    intervals = live_intervals(ops)
+    if not intervals:
+        return 0
+    events: list[tuple[int, int]] = []
+    for start, end in intervals.values():
+        events.append((start, 1))
+        events.append((end + 1, -1))
+    events.sort()
+    live = peak = 0
+    for _, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return peak
+
+
+def next_use_table(shape: Sequence[tuple]) -> dict[int, list[int]]:
+    """Positions at which each virtual register is *read*, in order.
+
+    ``shape`` is the register shape of a stream: ``(opclass, dst, srcs)``
+    tuples.  Used by the spill scheduler for Belady eviction.
+    """
+    uses: dict[int, list[int]] = {}
+    for i, (_, _, srcs) in enumerate(shape):
+        for r in srcs:
+            uses.setdefault(r, []).append(i)
+    return uses

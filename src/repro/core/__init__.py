@@ -1,0 +1,58 @@
+"""The paper's contribution: unified local-memory partitioning.
+
+This package holds the design points the paper compares (Section 6):
+
+* :func:`~repro.core.configs.partitioned_baseline` -- the hard-partitioned
+  SM of Section 2.1: 256 KB register file, 64 KB shared memory, 64 KB
+  cache, each in its own banks.
+* :func:`~repro.core.configs.fermi_like` -- the limited-flexibility design
+  of Section 6.3: a fixed 256 KB register file plus 128 KB that can be
+  split 96/32 or 32/96 between shared memory and cache.
+* :func:`~repro.core.allocator.allocate_unified` -- the fully unified
+  design of Section 4 with the automated allocation algorithm of
+  Section 4.5: compiler-reported registers/thread, programmer-declared
+  shared memory, scheduler-maximised thread count, remainder to cache.
+
+A :class:`~repro.core.partition.MemoryPartition` captures one concrete
+split plus its bank geometry (Section 4.2), and is what the SM simulator
+and energy model consume.
+"""
+
+from repro.core.allocator import AllocationError, allocate_unified
+from repro.core.autotune import AutotuneResult, autotune_threads
+from repro.core.configs import (
+    FERMI_SPLITS,
+    fermi_like,
+    fermi_like_best_split,
+    partitioned_baseline,
+    partitioned_design,
+)
+from repro.core.occupancy import max_resident_threads, occupancy_limits
+from repro.core.reconfig import (
+    ApplicationResult,
+    ReconfigPolicy,
+    fixed_envelope_partition,
+    run_application,
+)
+from repro.core.partition import BankGeometry, DesignStyle, MemoryPartition
+
+__all__ = [
+    "AllocationError",
+    "ApplicationResult",
+    "AutotuneResult",
+    "BankGeometry",
+    "DesignStyle",
+    "FERMI_SPLITS",
+    "MemoryPartition",
+    "allocate_unified",
+    "autotune_threads",
+    "ReconfigPolicy",
+    "fermi_like",
+    "fermi_like_best_split",
+    "fixed_envelope_partition",
+    "max_resident_threads",
+    "occupancy_limits",
+    "partitioned_baseline",
+    "partitioned_design",
+    "run_application",
+]

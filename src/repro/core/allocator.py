@@ -1,0 +1,102 @@
+"""The automated allocation algorithm of Section 4.5.
+
+Given the compiler-reported register requirement, the
+programmer-declared shared memory per CTA, and the total unified
+capacity, the hardware scheduler maximises the resident thread count and
+assigns all remaining storage to the primary data cache:
+
+1. registers/thread to avoid spills (Table 1, column 2) -- from the
+   compiler (:func:`repro.compiler.liveness.max_live_registers`);
+2. shared memory per CTA -- from the kernel launch;
+3. thread count = capacity // per-thread footprint (CTA-granular);
+4. cache = remainder.
+
+The paper notes some applications peak below the maximum thread count;
+``thread_target`` lets experiment drivers sweep that dimension like the
+paper's autotuning remark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partition import MAX_THREADS, DesignStyle, MemoryPartition
+
+
+class AllocationError(ValueError):
+    """The kernel cannot fit even one CTA in the unified capacity."""
+
+
+@dataclass(frozen=True, slots=True)
+class UnifiedAllocation:
+    """Result of the Section 4.5 algorithm."""
+
+    partition: MemoryPartition
+    resident_ctas: int
+    resident_threads: int
+
+    @property
+    def cache_bytes(self) -> int:
+        return self.partition.cache_bytes
+
+
+def allocate_unified(
+    total_bytes: int,
+    regs_per_thread: int,
+    threads_per_cta: int,
+    smem_bytes_per_cta: int = 0,
+    thread_target: int = MAX_THREADS,
+) -> UnifiedAllocation:
+    """Partition a unified memory of ``total_bytes`` for one kernel.
+
+    Args:
+        total_bytes: Unified pool capacity (the paper evaluates 128 KB,
+            256 KB, and 384 KB in Table 6).
+        regs_per_thread: Registers per thread that avoid spills.
+        threads_per_cta: Kernel CTA size (threads are scheduled in CTA
+            granularity).
+        smem_bytes_per_cta: Programmer-declared shared memory per CTA.
+        thread_target: Cap on resident threads (<= 1024).
+
+    Returns:
+        The unified :class:`~repro.core.partition.MemoryPartition` plus
+        the residency it supports.
+
+    Raises:
+        AllocationError: If one CTA's registers + shared memory exceed
+            the pool.
+    """
+    if total_bytes <= 0:
+        raise ValueError("total_bytes must be positive")
+    if regs_per_thread <= 0:
+        raise ValueError("regs_per_thread must be positive")
+    if threads_per_cta <= 0:
+        raise ValueError("threads_per_cta must be positive")
+    if smem_bytes_per_cta < 0:
+        raise ValueError("smem_bytes_per_cta must be non-negative")
+
+    target = min(thread_target, MAX_THREADS)
+    rf_per_cta = 4 * regs_per_thread * threads_per_cta
+    bytes_per_cta = rf_per_cta + smem_bytes_per_cta
+    ctas = min(target // threads_per_cta, total_bytes // bytes_per_cta)
+    if ctas <= 0:
+        raise AllocationError(
+            f"one CTA needs {bytes_per_cta} bytes "
+            f"({rf_per_cta} registers + {smem_bytes_per_cta} shared) but the "
+            f"unified pool holds only {total_bytes} bytes"
+            if total_bytes < bytes_per_cta
+            else f"thread target {target} below one CTA of {threads_per_cta} threads"
+        )
+    rf = ctas * rf_per_cta
+    smem = ctas * smem_bytes_per_cta
+    partition = MemoryPartition(
+        DesignStyle.UNIFIED,
+        rf_bytes=rf,
+        smem_bytes=smem,
+        cache_bytes=total_bytes - rf - smem,
+    )
+    return UnifiedAllocation(
+        partition=partition,
+        resident_ctas=ctas,
+        resident_threads=ctas * threads_per_cta,
+    )

@@ -1,0 +1,90 @@
+"""Thread-count autotuning (paper Section 4.5).
+
+"Some applications see higher performance with fewer than the maximum
+number of threads, due to interactions with the thread scheduler and
+memory system. ... Techniques like autotuning [24] can be used to
+automatically optimize thread count."
+
+:func:`autotune_threads` performs that search: it sweeps CTA-granular
+thread targets under a given unified capacity, simulating each, and
+returns the fastest configuration.  The freed register/shared capacity
+at lower thread counts flows to the cache (the Section 4.5 remainder
+rule), so reducing threads can *increase* cache capacity -- the trade
+the paper's needle and GPU-mummer results hinge on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.compiled import CompiledKernel
+from repro.core.allocator import AllocationError, UnifiedAllocation, allocate_unified
+from repro.core.partition import MAX_THREADS
+from repro.sm.config import SMConfig
+from repro.sm.result import SimResult
+from repro.sm.simulator import simulate
+
+
+@dataclass(frozen=True)
+class AutotunePoint:
+    threads: int
+    allocation: UnifiedAllocation
+    result: SimResult
+
+
+@dataclass
+class AutotuneResult:
+    points: list[AutotunePoint]
+
+    @property
+    def best(self) -> AutotunePoint:
+        return min(self.points, key=lambda p: p.result.cycles)
+
+    @property
+    def max_threads_point(self) -> AutotunePoint:
+        return max(self.points, key=lambda p: p.threads)
+
+    @property
+    def gain_over_max_threads(self) -> float:
+        """Speedup of the tuned point over simply maximising threads."""
+        return self.max_threads_point.result.cycles / self.best.result.cycles
+
+
+def autotune_threads(
+    kernel: CompiledKernel,
+    total_bytes: int,
+    config: SMConfig | None = None,
+    min_threads: int = 128,
+) -> AutotuneResult:
+    """Sweep CTA-granular thread targets; return every point and the best.
+
+    Raises:
+        AllocationError: If the kernel fits at no thread target.
+    """
+    tpc = kernel.launch.threads_per_cta
+    points: list[AutotunePoint] = []
+    target = (MAX_THREADS // tpc) * tpc
+    lo = max(tpc, min_threads)
+    while target >= lo:
+        try:
+            alloc = allocate_unified(
+                total_bytes,
+                regs_per_thread=kernel.regs_per_thread,
+                threads_per_cta=tpc,
+                smem_bytes_per_cta=kernel.launch.smem_bytes_per_cta,
+                thread_target=target,
+            )
+        except AllocationError:
+            target -= tpc
+            continue
+        if points and alloc.resident_threads == points[-1].threads:
+            target -= tpc
+            continue  # same residency as the previous point
+        result = simulate(kernel, alloc.partition, config, thread_target=target)
+        points.append(AutotunePoint(alloc.resident_threads, alloc, result))
+        target -= tpc
+    if not points:
+        raise AllocationError(
+            f"kernel {kernel.name!r} fits at no thread target in {total_bytes} bytes"
+        )
+    return AutotuneResult(points)

@@ -1,0 +1,62 @@
+"""Factory functions for the design points the paper evaluates."""
+
+from __future__ import annotations
+
+from repro.core.partition import KB, DesignStyle, MemoryPartition
+
+#: The two shared/cache splits the Fermi-like design offers at 384 KB
+#: total capacity (Section 6.3): (shared_bytes, cache_bytes).
+FERMI_SPLITS = ((96 * KB, 32 * KB), (32 * KB, 96 * KB))
+
+
+def partitioned_baseline() -> MemoryPartition:
+    """The Section 2.1 baseline: 256 KB RF / 64 KB shared / 64 KB cache."""
+    return MemoryPartition(
+        DesignStyle.PARTITIONED,
+        rf_bytes=256 * KB,
+        smem_bytes=64 * KB,
+        cache_bytes=64 * KB,
+    )
+
+
+def partitioned_design(
+    rf_kb: float, smem_kb: float, cache_kb: float
+) -> MemoryPartition:
+    """An arbitrary hard-partitioned design (used by the limit studies)."""
+    return MemoryPartition(
+        DesignStyle.PARTITIONED,
+        rf_bytes=int(rf_kb * KB),
+        smem_bytes=int(smem_kb * KB),
+        cache_bytes=int(cache_kb * KB),
+    )
+
+
+def fermi_like(split: int, rf_kb: float = 256) -> MemoryPartition:
+    """The limited-flexibility design of Section 6.3.
+
+    Args:
+        split: 0 for 96 KB shared / 32 KB cache, 1 for 32 KB shared /
+            96 KB cache.
+        rf_kb: Register file capacity (fixed at 256 KB in the paper).
+    """
+    smem, cache = FERMI_SPLITS[split]
+    return MemoryPartition(
+        DesignStyle.FERMI_LIKE,
+        rf_bytes=int(rf_kb * KB),
+        smem_bytes=smem,
+        cache_bytes=cache,
+    )
+
+
+def fermi_like_best_split(smem_bytes_needed_per_sm: float) -> MemoryPartition:
+    """Pick the Fermi split a programmer would choose.
+
+    The paper lets the programmer select the configuration per kernel;
+    the natural heuristic is: take the large shared memory only when the
+    kernel's aggregate shared-memory demand exceeds the small option.
+    Experiments that want the true best may simulate both splits and keep
+    the faster one (see :mod:`repro.experiments.figure10`).
+    """
+    small_smem = FERMI_SPLITS[1][0]
+    split = 0 if smem_bytes_needed_per_sm > small_smem else 1
+    return fermi_like(split)

@@ -1,0 +1,98 @@
+"""ASCII rendering of a partition's bank layout (paper Figures 5-6).
+
+Figures 5 and 6 of the paper illustrate how the three storage types map
+onto the SM's 8 clusters x 4 banks in the unified and baseline designs.
+:func:`bank_layout` renders the same picture for any
+:class:`~repro.core.partition.MemoryPartition`: each bank is drawn as a
+column whose rows are filled proportionally by register file (R),
+shared memory (S), and cache (C) capacity.
+
+Used by ``python -m repro run --show-layout`` and handy in notebooks::
+
+    >>> print(bank_layout(partitioned_baseline()))
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import (
+    BANKS_PER_CLUSTER,
+    NUM_BANKS,
+    NUM_CLUSTERS,
+    DesignStyle,
+    MemoryPartition,
+)
+
+_GLYPH = {"rf": "R", "smem": "S", "cache": "C", "none": "."}
+
+
+def _bank_column(partition: MemoryPartition, rows: int) -> list[str]:
+    """Fill pattern of one bank, top-down, for the unified design."""
+    total = partition.total_bytes or 1
+    rf_rows = round(rows * partition.rf_bytes / total)
+    smem_rows = round(rows * partition.smem_bytes / total)
+    cache_rows = rows - rf_rows - smem_rows
+    return (
+        [_GLYPH["rf"]] * rf_rows
+        + [_GLYPH["smem"]] * smem_rows
+        + [_GLYPH["cache"]] * max(0, cache_rows)
+    )[:rows]
+
+
+def bank_layout(partition: MemoryPartition, rows: int = 8) -> str:
+    """Render the SM's 32 banks with their per-design contents."""
+    header = partition.describe()
+    lines = [header, "=" * len(header)]
+    if partition.style is DesignStyle.UNIFIED:
+        column = _bank_column(partition, rows)
+        lines.append(
+            f"one pool: {NUM_CLUSTERS} clusters x {BANKS_PER_CLUSTER} banks of "
+            f"{partition.rf_geometry.bank_kb:g} KB; every bank holds all three"
+        )
+        for r in range(rows):
+            cells = " ".join(column[r] * BANKS_PER_CLUSTER for _ in range(NUM_CLUSTERS))
+            lines.append(f"  {cells}")
+    else:
+        lines.append(
+            f"register file: {NUM_BANKS} banks of "
+            f"{partition.rf_geometry.bank_kb:g} KB"
+        )
+        for _ in range(max(2, rows // 3)):
+            lines.append(
+                "  " + " ".join("R" * BANKS_PER_CLUSTER for _ in range(NUM_CLUSTERS))
+            )
+        pool = "shared/cache pool" if partition.style is DesignStyle.FERMI_LIKE else None
+        if pool:
+            lines.append(
+                f"{pool}: {NUM_BANKS} banks of {partition.smem_geometry.bank_kb:g} KB "
+                f"(split {partition.smem_kb:g}/{partition.cache_kb:g} KB)"
+            )
+            mix = _bank_column(
+                MemoryPartition(
+                    DesignStyle.UNIFIED,
+                    rf_bytes=1,
+                    smem_bytes=partition.smem_bytes,
+                    cache_bytes=partition.cache_bytes,
+                ),
+                max(2, rows // 3),
+            )
+            for r in range(max(2, rows // 3)):
+                g = mix[r] if r < len(mix) else _GLYPH["cache"]
+                lines.append(
+                    "  " + " ".join(g * BANKS_PER_CLUSTER for _ in range(NUM_CLUSTERS))
+                )
+        else:
+            lines.append(
+                f"shared memory: {NUM_BANKS} banks of "
+                f"{partition.smem_geometry.bank_kb:g} KB"
+            )
+            lines.append(
+                "  " + " ".join("S" * BANKS_PER_CLUSTER for _ in range(NUM_CLUSTERS))
+            )
+            lines.append(
+                f"cache: {NUM_BANKS} banks of {partition.cache_geometry.bank_kb:g} KB"
+            )
+            lines.append(
+                "  " + " ".join("C" * BANKS_PER_CLUSTER for _ in range(NUM_CLUSTERS))
+            )
+    lines.append("  R = registers   S = shared memory   C = cache")
+    return "\n".join(lines)

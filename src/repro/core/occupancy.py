@@ -1,0 +1,99 @@
+"""Occupancy: how many threads/CTAs fit a partition.
+
+Mirrors the hardware scheduler constraints of Sections 3.1 and 4.5: the
+register file must hold ``regs_per_thread * 4`` bytes for every resident
+thread, shared memory must hold one allocation per resident CTA, and the
+SM supports at most 1024 threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partition import MAX_THREADS, MemoryPartition
+
+
+@dataclass(frozen=True, slots=True)
+class OccupancyLimits:
+    """Per-resource CTA limits and the resulting residency."""
+
+    ctas_by_threads: int
+    ctas_by_registers: int
+    ctas_by_smem: int
+    threads_per_cta: int
+
+    @property
+    def resident_ctas(self) -> int:
+        return max(
+            0, min(self.ctas_by_threads, self.ctas_by_registers, self.ctas_by_smem)
+        )
+
+    @property
+    def resident_threads(self) -> int:
+        return self.resident_ctas * self.threads_per_cta
+
+    @property
+    def limiting_resource(self) -> str:
+        if (
+            self.ctas_by_threads <= self.ctas_by_registers
+            and self.ctas_by_threads <= self.ctas_by_smem
+        ):
+            return "threads"
+        if self.ctas_by_registers <= self.ctas_by_smem:
+            return "registers"
+        return "shared memory"
+
+
+def occupancy_limits(
+    partition: MemoryPartition,
+    regs_per_thread: int,
+    threads_per_cta: int,
+    smem_bytes_per_cta: int,
+    thread_target: int = MAX_THREADS,
+) -> OccupancyLimits:
+    """Compute per-resource CTA limits under a partition.
+
+    Args:
+        partition: The memory split to fit into.
+        regs_per_thread: Architectural registers allocated per thread.
+        threads_per_cta: CTA size of the kernel.
+        smem_bytes_per_cta: Shared memory per CTA.
+        thread_target: Upper bound on resident threads; the paper's
+            sensitivity studies sweep this from 256 to 1024.
+
+    Returns:
+        :class:`OccupancyLimits`; ``resident_ctas`` may be zero when a
+        single CTA does not fit, which callers must treat as "kernel
+        cannot launch under this partition".
+    """
+    if regs_per_thread <= 0:
+        raise ValueError("regs_per_thread must be positive")
+    if threads_per_cta <= 0:
+        raise ValueError("threads_per_cta must be positive")
+    if smem_bytes_per_cta < 0:
+        raise ValueError("smem_bytes_per_cta must be non-negative")
+    target = min(thread_target, MAX_THREADS)
+    rf_per_cta = 4 * regs_per_thread * threads_per_cta
+    return OccupancyLimits(
+        ctas_by_threads=target // threads_per_cta,
+        ctas_by_registers=partition.rf_bytes // rf_per_cta,
+        ctas_by_smem=(
+            partition.smem_bytes // smem_bytes_per_cta
+            if smem_bytes_per_cta > 0
+            else target // threads_per_cta
+        ),
+        threads_per_cta=threads_per_cta,
+    )
+
+
+def max_resident_threads(
+    partition: MemoryPartition,
+    regs_per_thread: int,
+    threads_per_cta: int,
+    smem_bytes_per_cta: int,
+    thread_target: int = MAX_THREADS,
+) -> int:
+    """Resident thread count under a partition (0 if nothing fits)."""
+    return occupancy_limits(
+        partition, regs_per_thread, threads_per_cta, smem_bytes_per_cta, thread_target
+    ).resident_threads

@@ -1,0 +1,163 @@
+"""Memory partitions and bank geometry.
+
+A :class:`MemoryPartition` is one concrete division of an SM's local
+storage into register file, shared memory, and cache, together with the
+bank organisation of Section 4.2:
+
+* **Partitioned** (baseline, Section 2.1): the register file lives in 32
+  banks of 16-byte width (8 KB each at the 256 KB baseline); shared
+  memory and cache each live in their own 32 banks of 4-byte width
+  (2 KB each at 64 KB).
+* **Unified** (Section 4.2): one pool of 32 banks, 16 bytes wide, shared
+  by all three storage types; bank capacity is total/32 (12 KB for the
+  384 KB design).  Register, shared, and cache conflicts can now
+  interact ("arbitration conflicts", Section 4.3).
+* **Fermi-like** (Section 6.3): the register file keeps its own banks;
+  shared memory and cache share one pool that can be split 96/32 or
+  32/96 KB.
+
+The SM always has 8 clusters x 4 banks = 32 banks so that bandwidth is
+constant across designs (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+KB = 1024
+
+#: SIMT clusters per SM (Section 2.1).
+NUM_CLUSTERS = 8
+#: Banks per cluster; 8 x 4 = 32 banks per SM in every design.
+BANKS_PER_CLUSTER = 4
+#: Total banks per SM.
+NUM_BANKS = NUM_CLUSTERS * BANKS_PER_CLUSTER
+#: Bank width in the register file and in unified banks (bytes).
+BANK_WIDTH = 16
+#: Cache line size in bytes (both designs, Section 4.2).
+CACHE_LINE = 128
+#: Hardware thread capacity of one SM (Section 2.1).
+MAX_THREADS = 1024
+
+
+class DesignStyle(enum.Enum):
+    """How the three storage types map onto banks."""
+
+    PARTITIONED = "partitioned"
+    UNIFIED = "unified"
+    FERMI_LIKE = "fermi-like"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DesignStyle.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class BankGeometry:
+    """Bank sizing of one storage structure (used by the energy model)."""
+
+    num_banks: int
+    bank_bytes: int
+
+    @property
+    def bank_kb(self) -> float:
+        return self.bank_bytes / KB
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_banks * self.bank_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryPartition:
+    """One concrete split of SM local storage.
+
+    Use the factories in :mod:`repro.core.configs` and
+    :mod:`repro.core.allocator` rather than constructing directly.
+    """
+
+    style: DesignStyle
+    rf_bytes: int
+    smem_bytes: int
+    cache_bytes: int
+
+    def __post_init__(self) -> None:
+        for label, v in (
+            ("rf_bytes", self.rf_bytes),
+            ("smem_bytes", self.smem_bytes),
+            ("cache_bytes", self.cache_bytes),
+        ):
+            if v < 0:
+                raise ValueError(f"{label} must be non-negative, got {v}")
+        if self.rf_bytes == 0:
+            raise ValueError("a partition must include register file capacity")
+
+    # -- capacity -------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return self.rf_bytes + self.smem_bytes + self.cache_bytes
+
+    @property
+    def rf_kb(self) -> float:
+        return self.rf_bytes / KB
+
+    @property
+    def smem_kb(self) -> float:
+        return self.smem_bytes / KB
+
+    @property
+    def cache_kb(self) -> float:
+        return self.cache_bytes / KB
+
+    # -- bank geometry (energy model input) ------------------------------
+    @property
+    def rf_geometry(self) -> BankGeometry:
+        if self.style is DesignStyle.UNIFIED:
+            return self._unified_geometry
+        return BankGeometry(NUM_BANKS, self.rf_bytes // NUM_BANKS)
+
+    @property
+    def smem_geometry(self) -> BankGeometry:
+        if self.style is DesignStyle.UNIFIED:
+            return self._unified_geometry
+        if self.style is DesignStyle.FERMI_LIKE:
+            return self._fermi_pool_geometry
+        return BankGeometry(NUM_BANKS, self.smem_bytes // NUM_BANKS)
+
+    @property
+    def cache_geometry(self) -> BankGeometry:
+        if self.style is DesignStyle.UNIFIED:
+            return self._unified_geometry
+        if self.style is DesignStyle.FERMI_LIKE:
+            return self._fermi_pool_geometry
+        return BankGeometry(NUM_BANKS, self.cache_bytes // NUM_BANKS)
+
+    @property
+    def _unified_geometry(self) -> BankGeometry:
+        return BankGeometry(NUM_BANKS, self.total_bytes // NUM_BANKS)
+
+    @property
+    def _fermi_pool_geometry(self) -> BankGeometry:
+        pool = self.smem_bytes + self.cache_bytes
+        return BankGeometry(NUM_BANKS, pool // NUM_BANKS)
+
+    # -- tag storage (Section 4.1 overhead discussion) --------------------
+    @property
+    def tag_bytes(self) -> int:
+        """Approximate cache tag storage.
+
+        Calibrated to the paper's two data points (Section 4.1): 1.125 KB
+        of tags for the 64 KB baseline cache (18 bits per 128-byte line)
+        and 7.125 KB for a fully-cache 384 KB unified pool (19 bits per
+        line; the larger pool needs one extra state bit per line).
+        """
+        lines = self.cache_bytes // CACHE_LINE
+        bits_per_line = 18 if self.cache_bytes <= 64 * KB else 19
+        return lines * bits_per_line // 8
+
+    def describe(self) -> str:
+        return (
+            f"{self.style.value}: RF {self.rf_kb:g} KB / "
+            f"shared {self.smem_kb:g} KB / cache {self.cache_kb:g} KB "
+            f"(total {self.total_bytes / KB:g} KB)"
+        )

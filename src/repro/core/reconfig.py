@@ -1,0 +1,162 @@
+"""Per-kernel repartitioning of unified memory (paper Section 4.4).
+
+"Before each kernel launch, the system can reconfigure the memory banks
+to change the memory partitioning.  Because the register file and shared
+memory are not persistent across CTA boundaries, the only state that
+must be considered when repartitioning is the cache.  As we use a
+write-through cache, the cache does not contain dirty data to evict."
+
+This module models multi-kernel applications under two policies:
+
+* ``fixed`` -- one partition for the whole application, sized so every
+  kernel fits (the paper's measurement setup: "choosing a single memory
+  partitioning at the start of each benchmark"); capacity is the
+  *envelope* of the kernels' register and shared demands, so diverse
+  kernels squeeze each other's cache.
+* ``per-kernel`` -- re-run the Section 4.5 allocator before each launch.
+  Repartitioning costs a cache flush (cold misses afterwards -- modelled
+  naturally, as each launch starts cold) plus a small drain latency.
+
+Both policies start each kernel with a cold cache, so the measured
+difference isolates what the paper argues for: per-kernel right-sizing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.compiler.compiled import CompiledKernel
+from repro.core.allocator import AllocationError, allocate_unified
+from repro.core.partition import MAX_THREADS, DesignStyle, MemoryPartition
+from repro.sm.config import SMConfig
+from repro.sm.result import SimResult
+from repro.sm.simulator import simulate
+
+#: Cycles to drain the SM and invalidate cache tags when repartitioning.
+#: Write-through means no dirty-data writeback (Section 4.4); the cost is
+#: a pipeline drain plus tag invalidation.
+REPARTITION_DRAIN_CYCLES = 200
+
+
+class ReconfigPolicy(enum.Enum):
+    FIXED = "fixed"
+    PER_KERNEL = "per-kernel"
+
+
+@dataclass(frozen=True)
+class ApplicationPhase:
+    """One kernel launch of a multi-kernel application."""
+
+    kernel: str
+    partition: MemoryPartition
+    result: SimResult
+    repartitioned: bool
+
+
+@dataclass
+class ApplicationResult:
+    policy: ReconfigPolicy
+    phases: list[ApplicationPhase]
+    reconfigurations: int
+    drain_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(p.result.cycles for p in self.phases) + self.drain_cycles
+
+    @property
+    def total_dram_accesses(self) -> int:
+        return sum(p.result.dram_accesses for p in self.phases)
+
+    def speedup_over(self, other: "ApplicationResult") -> float:
+        return other.total_cycles / self.total_cycles
+
+
+def fixed_envelope_partition(
+    kernels: list[CompiledKernel], total_bytes: int
+) -> MemoryPartition:
+    """One partition that fits every kernel of the application.
+
+    Registers and shared memory take the envelope (maximum) of the
+    per-kernel demands at the highest common thread target; the
+    remainder becomes cache.  The thread target backs off until the
+    envelope fits the pool.
+    """
+    if not kernels:
+        raise ValueError("application must contain at least one kernel")
+    target = MAX_THREADS
+    while target >= 32:
+        rf = smem = 0
+        feasible = True
+        for k in kernels:
+            tpc = k.launch.threads_per_cta
+            ctas = max(1, min(target, MAX_THREADS) // tpc)
+            k_rf = ctas * tpc * 4 * k.regs_per_thread
+            k_smem = ctas * k.launch.smem_bytes_per_cta
+            if k_rf + k_smem > total_bytes:
+                feasible = False
+                break
+            rf = max(rf, k_rf)
+            smem = max(smem, k_smem)
+        if feasible and rf + smem <= total_bytes:
+            return MemoryPartition(
+                DesignStyle.UNIFIED,
+                rf_bytes=rf,
+                smem_bytes=smem,
+                cache_bytes=total_bytes - rf - smem,
+            )
+        target -= 32
+    raise AllocationError(
+        f"no common thread target fits all {len(kernels)} kernels in "
+        f"{total_bytes} bytes"
+    )
+
+
+def run_application(
+    kernels: list[CompiledKernel],
+    total_bytes: int,
+    policy: ReconfigPolicy | str = ReconfigPolicy.PER_KERNEL,
+    config: SMConfig | None = None,
+    drain_cycles: int = REPARTITION_DRAIN_CYCLES,
+) -> ApplicationResult:
+    """Run a multi-kernel application under a reconfiguration policy."""
+    policy = ReconfigPolicy(policy) if isinstance(policy, str) else policy
+    if not kernels:
+        raise ValueError("application must contain at least one kernel")
+    phases: list[ApplicationPhase] = []
+    reconfigs = 0
+    if policy is ReconfigPolicy.FIXED:
+        partition = fixed_envelope_partition(kernels, total_bytes)
+        for k in kernels:
+            phases.append(
+                ApplicationPhase(
+                    kernel=k.name,
+                    partition=partition,
+                    result=simulate(k, partition, config),
+                    repartitioned=False,
+                )
+            )
+        return ApplicationResult(policy, phases, 0, 0.0)
+
+    previous: MemoryPartition | None = None
+    for k in kernels:
+        alloc = allocate_unified(
+            total_bytes,
+            regs_per_thread=k.regs_per_thread,
+            threads_per_cta=k.launch.threads_per_cta,
+            smem_bytes_per_cta=k.launch.smem_bytes_per_cta,
+        )
+        changed = previous is not None and alloc.partition != previous
+        if changed:
+            reconfigs += 1
+        phases.append(
+            ApplicationPhase(
+                kernel=k.name,
+                partition=alloc.partition,
+                result=simulate(k, alloc.partition, config),
+                repartitioned=changed,
+            )
+        )
+        previous = alloc.partition
+    return ApplicationResult(policy, phases, reconfigs, reconfigs * drain_cycles)

@@ -1,0 +1,62 @@
+"""Per-thread SIMT emulator: thread programs -> warp-level traces.
+
+The paper generated traces by running real CUDA kernels under Ocelot, a
+functional PTX emulator (Section 5.1).  The hand-written generators in
+:mod:`repro.kernels` reproduce the suite's streams directly at warp
+granularity; this package supplies the general mechanism for everything
+else: write a *thread program* once, and the SIMT executor runs 32
+threads per warp in lockstep -- evaluating real values, diverging at
+branches, reconverging at the immediate post-dominator the structured
+control flow defines -- and emits the same
+:class:`~repro.isa.trace.WarpOp` streams the rest of the stack consumes.
+
+Example::
+
+    from repro.emulator import Program, emulate_kernel
+    from repro.emulator.ast import V, Const
+
+    p = Program()
+    tid = p.special("tid")
+    x = p.load_global(Const(0x1000) + tid * 4)
+    with p.if_(x % 2 == ...):  # see repro.emulator.ast for operators
+        ...
+
+See :mod:`repro.emulator.ast` for the expression/statement forms and
+:mod:`repro.emulator.machine` for execution semantics.
+"""
+
+from repro.emulator.ast import (
+    Assign,
+    Barrier,
+    BinOp,
+    Const,
+    If,
+    LoadGlobal,
+    LoadShared,
+    Program,
+    Special,
+    StoreGlobal,
+    StoreShared,
+    Var,
+    While,
+)
+from repro.emulator.machine import EmulationError, emulate_kernel, emulate_warp
+
+__all__ = [
+    "Assign",
+    "Barrier",
+    "BinOp",
+    "Const",
+    "EmulationError",
+    "If",
+    "LoadGlobal",
+    "LoadShared",
+    "Program",
+    "Special",
+    "StoreGlobal",
+    "StoreShared",
+    "Var",
+    "While",
+    "emulate_kernel",
+    "emulate_warp",
+]

@@ -1,0 +1,29 @@
+"""Energy model (paper Section 5.2, Tables 3 and 4).
+
+* :mod:`repro.energy.params` -- the Table 3 constants (32 nm, 1 GHz,
+  1.9 W dynamic / 0.9 W leakage per SM, 2.37 mW/KB SRAM leakage,
+  40 pJ/bit DRAM).
+* :mod:`repro.energy.sram` -- per-access SRAM bank energy.  The paper
+  used CACTI plus synthesis data; we substitute a power-law fit
+  ``E = a * C^b`` computed from the paper's own Table 4 points, which
+  reproduces the published numbers within ~3% and extrapolates to the
+  arbitrary bank sizes the unified allocator can produce.
+* :mod:`repro.energy.model` -- chip-level accounting: constant core
+  dynamic energy (priced at the baseline configuration's runtime, per
+  the paper), per-access bank energy with the +10% wiring overhead for
+  unified shared/cache accesses, capacity-dependent SRAM leakage, and
+  DRAM energy.
+"""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.energy.params import EnergyParams
+from repro.energy.sram import SRAMEnergyFit, TABLE4_POINTS, bank_energy
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParams",
+    "SRAMEnergyFit",
+    "TABLE4_POINTS",
+    "bank_energy",
+]

@@ -1,0 +1,84 @@
+"""Chip-level aggregation of single-SM results (paper Section 5.2).
+
+The paper simulates one SM and scales to the chip analytically: a 32-SM
+GPU at 32 nm consuming 130 W, with SMs taking 70% of chip energy and
+the memory system 30%, and leakage one third of chip power.  This
+module performs the same scale-up so results can be quoted as
+chip-level power, energy, and efficiency:
+
+* every SM runs the same workload share, so chip runtime = SM runtime;
+* SM energy (dynamic core + banks + SRAM leakage) multiplies by 32;
+* DRAM energy is already chip-shared in the SM model (each SM's
+  40 pJ/bit covers its own traffic; 32 SMs carry 32 shares);
+* the remaining (non-DRAM) memory-system power closes the budget to
+  the paper's 130 W at baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.energy.params import EnergyParams
+from repro.sm.result import SimResult
+
+#: SMs per chip (paper Section 2).
+NUM_SMS = 32
+#: Chip design power at 32 nm (paper Section 5.2).
+CHIP_POWER_W = 130.0
+#: Share of chip energy consumed by the SMs (the rest: memory system).
+SM_ENERGY_SHARE = 0.70
+
+
+@dataclass(frozen=True)
+class ChipSummary:
+    """Chip-level view of one simulated configuration."""
+
+    runtime_s: float
+    sm_energy_j: float  # all 32 SMs
+    memory_system_j: float  # DRAM + the non-DRAM memory-system share
+    total_j: float
+    avg_power_w: float
+    energy_per_instruction_pj: float
+
+    def summary(self) -> str:
+        return (
+            f"chip: {self.runtime_s * 1e6:.1f} us, {self.total_j * 1e3:.2f} mJ, "
+            f"{self.avg_power_w:.0f} W average"
+        )
+
+
+class ChipModel:
+    """Scales a :class:`SimResult` to the paper's 32-SM, 130 W chip."""
+
+    def __init__(self, params: EnergyParams | None = None) -> None:
+        self.params = params or EnergyParams()
+        self.energy_model = EnergyModel(self.params)
+
+    def non_dram_memory_power_w(self) -> float:
+        """Constant power of the non-DRAM memory system (crossbars, L2,
+        controllers): the residual of the 130 W budget after the SM
+        share, minus what DRAM traffic accounts for dynamically."""
+        return CHIP_POWER_W * (1.0 - SM_ENERGY_SHARE) / 2.0
+
+    def evaluate(
+        self, result: SimResult, baseline_cycles: float | None = None
+    ) -> ChipSummary:
+        sm: EnergyBreakdown = self.energy_model.evaluate(result, baseline_cycles)
+        runtime_s = result.cycles * self.params.cycle_seconds
+        sm_all = NUM_SMS * (sm.core_dynamic_j + sm.bank_j + sm.leakage_j)
+        dram_all = NUM_SMS * sm.dram_j
+        mem_rest = self.non_dram_memory_power_w() * runtime_s
+        total = sm_all + dram_all + mem_rest
+        return ChipSummary(
+            runtime_s=runtime_s,
+            sm_energy_j=sm_all,
+            memory_system_j=dram_all + mem_rest,
+            total_j=total,
+            avg_power_w=total / runtime_s if runtime_s else 0.0,
+            energy_per_instruction_pj=(
+                total / (NUM_SMS * result.instructions) * 1e12
+                if result.instructions
+                else 0.0
+            ),
+        )

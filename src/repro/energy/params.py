@@ -1,0 +1,45 @@
+"""Energy parameters -- paper Table 3 plus hierarchy constants.
+
+The LRF/ORF access energies are not in Table 3; they come from the
+register-file-hierarchy prior work the paper builds on ([8, 9]), which
+reports the small structures costing roughly an order of magnitude less
+than an MRF bank access.  They are identical across designs, so they
+only add a common offset to both sides of every comparison.
+
+Note on leakage: the paper states both "0.2 W of SRAM leakage at 384 KB"
+and "2.37 mW per KB" (which gives 0.91 W at 384 KB).  The two are
+inconsistent; we follow the 2.37 mW/KB figure because it is the one the
+paper says it uses to adjust leakage across capacities (Section 6.4
+depends on that adjustment).  EXPERIMENTS.md records the deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyParams:
+    """Table 3 constants (32 nm process, 1 GHz, 0.9 V)."""
+
+    frequency_ghz: float = 1.0
+    wire_energy_pj_per_mm: float = 1.9
+    sm_dynamic_power_w: float = 1.9
+    sm_core_leakage_w: float = 0.7
+    sram_leakage_mw_per_kb: float = 2.37
+    dram_energy_pj_per_bit: float = 40.0
+    #: Extra wiring/muxing energy for unified shared/cache accesses
+    #: (Section 5.2: modelled as 10% of bank access energy).
+    unified_wire_overhead: float = 0.10
+    #: Per-access energy of the small hierarchy structures (pJ), from [9].
+    lrf_access_pj: float = 0.4
+    orf_access_pj: float = 0.9
+    #: Cache tag lookup energy (pJ per lookup).
+    tag_lookup_pj: float = 1.0
+
+    @property
+    def cycle_seconds(self) -> float:
+        return 1e-9 / self.frequency_ghz
+
+    def sram_leakage_w(self, capacity_kb: float) -> float:
+        return self.sram_leakage_mw_per_kb * 1e-3 * capacity_kb

@@ -1,0 +1,34 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every module exposes ``run(scale=..., ...) -> <Result>`` whose result
+object carries ``rows()`` (machine-readable) and ``format()`` (the
+pretty table printed by the benchmark harness), plus the corresponding
+paper values for side-by-side comparison where the paper publishes
+numbers.
+
+========== ========================================================
+Module      Reproduces
+========== ========================================================
+table1      Workload characterisation (registers, spills, shared
+            memory, DRAM accesses vs cache size)
+figure2     Performance vs register file capacity (4 benchmarks)
+figure3     Performance vs shared memory capacity (4 benchmarks)
+figure4     Performance vs cache capacity (4 benchmarks)
+table4      SRAM bank access energies
+table5      Bank-conflict breakdown, partitioned vs unified
+figure7     Unified vs partitioned, no-benefit applications
+figure8     Chosen 384 KB partitionings (benefit applications)
+figure9     Unified vs partitioned: perf / energy / DRAM traffic
+figure10    Fermi-like limited flexibility vs partitioned
+table6      Capacity sensitivity: 128 / 256 / 384 KB unified
+figure11    Needle blocking-factor tuning
+========== ========================================================
+
+The shared machinery lives in :mod:`repro.experiments.runner`
+(simulate-and-price with per-benchmark caching) and
+:mod:`repro.experiments.report` (table formatting).
+"""
+
+from repro.experiments.runner import BenchmarkRun, Runner
+
+__all__ = ["BenchmarkRun", "Runner"]

@@ -1,0 +1,85 @@
+"""Figure 10: Fermi-like limited flexibility vs the partitioned baseline.
+
+The Fermi-like design keeps a fixed 256 KB register file and lets the
+programmer choose 96/32 or 32/96 KB between shared memory and cache
+(Section 6.3).  We simulate both splits per benchmark and keep the
+faster (the choice a tuned application would make), then normalise to
+the partitioned baseline.  Paper: gains of 1%..20%, consistently below
+the fully unified design except for gpu-mummer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table, geomean
+from repro.experiments.runner import Runner
+from repro.kernels import BENEFIT_SET
+
+
+@dataclass(frozen=True)
+class Figure10Row:
+    name: str
+    speedup: float
+    energy_ratio: float
+    dram_ratio: float
+    chosen_smem_kb: float
+    chosen_cache_kb: float
+
+
+@dataclass
+class Figure10Result:
+    rows: list[Figure10Row]
+
+    def row(self, name: str) -> Figure10Row:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    @property
+    def mean_speedup(self) -> float:
+        return geomean([r.speedup for r in self.rows])
+
+    def format(self) -> str:
+        headers = ["benchmark", "speedup", "energy", "DRAM", "smem KB", "cache KB"]
+        rows = [
+            [
+                r.name,
+                r.speedup,
+                r.energy_ratio,
+                r.dram_ratio,
+                r.chosen_smem_kb,
+                r.chosen_cache_kb,
+            ]
+            for r in self.rows
+        ]
+        rows.append(["geomean", self.mean_speedup, "", "", "", ""])
+        return format_table(
+            headers, rows, title="Figure 10: Fermi-like (384KB) vs partitioned"
+        )
+
+
+def run(
+    scale: str = "small",
+    benchmarks: tuple[str, ...] = BENEFIT_SET,
+    runner: Runner | None = None,
+) -> Figure10Result:
+    rn = runner or Runner(scale)
+    rows = []
+    for name in benchmarks:
+        base = rn.baseline(name)
+        fermi = rn.fermi_best(name)
+        e_base = rn.priced(base).energy
+        e_fermi = rn.priced(fermi, baseline=base).energy
+        rows.append(
+            Figure10Row(
+                name=name,
+                speedup=fermi.speedup_over(base),
+                energy_ratio=e_fermi.total_j / e_base.total_j,
+                dram_ratio=fermi.dram_traffic_ratio(base),
+                chosen_smem_kb=fermi.partition.smem_kb,
+                chosen_cache_kb=fermi.partition.cache_kb,
+            )
+        )
+    return Figure10Result(rows)

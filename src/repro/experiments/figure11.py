@@ -1,0 +1,106 @@
+"""Figure 11: tuning needle's blocking factor for the unified design.
+
+Sweeps needle's shared-memory blocking factor (16 / 32 / 64) against
+the number of concurrent threads; the x-axis of the paper's figure is
+the shared-memory capacity the configuration needs.  The paper's
+findings: bf=16 is the only choice on small scratchpads, bf=32 is the
+sweet spot at 64 KB, and once several hundred KB are available bf=64
+edges ahead while needing fewer threads -- the "tune over the whole
+range" opportunity unified memory opens (Section 6.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import partitioned_design
+from repro.experiments.report import format_table
+from repro.experiments.runner import Runner
+from repro.kernels.needle import smem_bytes_for
+from repro.sm.cta_scheduler import LaunchError
+
+BLOCKING_FACTORS = (16, 32, 64)
+THREAD_POINTS = (64, 128, 256, 384, 512, 640, 768, 896, 1024)
+
+
+@dataclass(frozen=True)
+class Figure11Point:
+    blocking_factor: int
+    threads: int
+    smem_kb: float
+    cycles: float
+    normalized_perf: float
+
+
+@dataclass
+class Figure11Result:
+    points: list[Figure11Point]
+
+    def line(self, bf: int) -> list[Figure11Point]:
+        return [p for p in self.points if p.blocking_factor == bf]
+
+    def best(self, max_smem_kb: float) -> Figure11Point:
+        """Fastest configuration that fits a shared-memory budget."""
+        feasible = [p for p in self.points if p.smem_kb <= max_smem_kb]
+        if not feasible:
+            raise ValueError(f"no configuration fits {max_smem_kb} KB")
+        return max(feasible, key=lambda p: p.normalized_perf)
+
+    def format(self) -> str:
+        headers = ["bf", *(f"{t} thr" for t in THREAD_POINTS)]
+        rows = []
+        for bf in BLOCKING_FACTORS:
+            line = {p.threads: p for p in self.line(bf)}
+            rows.append(
+                [bf]
+                + [
+                    f"{line[t].normalized_perf:.2f}" if t in line else "-"
+                    for t in THREAD_POINTS
+                ]
+            )
+            rows.append(
+                [f"bf{bf} smem"]
+                + [f"{line[t].smem_kb:.0f}K" if t in line else "-" for t in THREAD_POINTS]
+            )
+        return format_table(
+            headers, rows, title="Figure 11: needle blocking-factor tuning"
+        )
+
+
+def run(
+    scale: str = "small",
+    blocking_factors: tuple[int, ...] = BLOCKING_FACTORS,
+    thread_points: tuple[int, ...] = THREAD_POINTS,
+    runner: Runner | None = None,
+) -> Figure11Result:
+    rn = runner or Runner(scale)
+    points: list[Figure11Point] = []
+    best_cycles = None
+    for bf in blocking_factors:
+        tpc = max(32, bf)
+        smem_per_cta = smem_bytes_for(bf)
+        for threads in thread_points:
+            if threads % tpc:
+                continue
+            ctas = threads // tpc
+            smem_kb = -(-ctas * smem_per_cta) // 1024 + 1
+            part = partitioned_design(256, smem_kb, 64)
+            try:
+                r = rn.simulate(
+                    "needle",
+                    part,
+                    thread_target=threads,
+                    blocking_factor=bf,
+                )
+            except (LaunchError, ValueError):
+                continue
+            points.append(Figure11Point(bf, threads, smem_kb, r.cycles, 0.0))
+            if best_cycles is None or r.cycles < best_cycles:
+                best_cycles = r.cycles
+    return Figure11Result(
+        [
+            Figure11Point(p.blocking_factor, p.threads, p.smem_kb, p.cycles,
+                          best_cycles / p.cycles)
+            for p in points
+        ]
+    )

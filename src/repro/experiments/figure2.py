@@ -1,0 +1,104 @@
+"""Figure 2: performance as a function of register file capacity.
+
+Four benchmarks with distinct register behaviours (dgemm, pcr, needle,
+bfs).  Each line fixes registers/thread (18/24/32/64); each point on a
+line raises the resident thread count (256..1024).  The register file is
+sized exactly to ``regs * 4 * threads`` bytes; the cache is 64 KB and
+shared memory is unbounded, isolating register capacity (Section 3.3.1).
+Performance is normalised to the (64 regs, 1024 threads) point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import partitioned_design
+from repro.experiments.report import format_table
+from repro.experiments.runner import Runner
+from repro.sm.cta_scheduler import LaunchError
+
+BENCHMARKS = ("dgemm", "pcr", "needle", "bfs")
+REG_LINES = (18, 24, 32, 64)
+THREAD_POINTS = (256, 512, 768, 1024)
+UNBOUNDED_SMEM_KB = 512
+
+
+@dataclass(frozen=True)
+class Figure2Point:
+    benchmark: str
+    regs_per_thread: int
+    threads: int
+    rf_kb: float
+    normalized_perf: float  # vs (64 regs, 1024 threads); nan if unrunnable
+
+
+@dataclass
+class Figure2Result:
+    points: list[Figure2Point]
+
+    def line(self, benchmark: str, regs: int) -> list[Figure2Point]:
+        return [
+            p
+            for p in self.points
+            if p.benchmark == benchmark and p.regs_per_thread == regs
+        ]
+
+    def point(self, benchmark: str, regs: int, threads: int) -> Figure2Point:
+        for p in self.points:
+            if (p.benchmark, p.regs_per_thread, p.threads) == (benchmark, regs, threads):
+                return p
+        raise KeyError((benchmark, regs, threads))
+
+    def format(self) -> str:
+        headers = ["benchmark", "regs", *(f"{t} thr" for t in THREAD_POINTS)]
+        rows = []
+        for b in BENCHMARKS:
+            for regs in REG_LINES:
+                line = self.line(b, regs)
+                if not line:
+                    continue
+                rows.append([b, regs, *(p.normalized_perf for p in line)])
+        return format_table(
+            headers, rows, title="Figure 2: performance vs register file capacity"
+        )
+
+
+def run(
+    scale: str = "small",
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+    runner: Runner | None = None,
+) -> Figure2Result:
+    rn = runner or Runner(scale)
+    points: list[Figure2Point] = []
+    for name in benchmarks:
+        ref = None
+        for regs in REG_LINES:
+            for threads in THREAD_POINTS:
+                rf_kb = regs * 4 * threads / 1024
+                part = partitioned_design(rf_kb, UNBOUNDED_SMEM_KB, 64)
+                try:
+                    r = rn.simulate(name, part, regs=regs, thread_target=threads)
+                except (LaunchError, ValueError):
+                    points.append(
+                        Figure2Point(name, regs, threads, rf_kb, float("nan"))
+                    )
+                    continue
+                points.append(Figure2Point(name, regs, threads, rf_kb, r.cycles))
+        # Normalise to the (max regs, max threads) point.
+        ref = next(
+            p.normalized_perf
+            for p in points
+            if p.benchmark == name
+            and p.regs_per_thread == REG_LINES[-1]
+            and p.threads == THREAD_POINTS[-1]
+        )
+        for i, p in enumerate(points):
+            if p.benchmark == name and p.normalized_perf == p.normalized_perf:
+                points[i] = Figure2Point(
+                    p.benchmark,
+                    p.regs_per_thread,
+                    p.threads,
+                    p.rf_kb,
+                    ref / p.normalized_perf,
+                )
+    return Figure2Result(points)

@@ -1,0 +1,84 @@
+"""Figure 3: performance versus shared memory capacity.
+
+Benchmarks: needle, pcr, lu, sto.  Points along each benchmark's line
+raise the resident thread count (256..1024, CTA-granular); the shared
+memory is sized to exactly what that residency needs, the register file
+eliminates spills, and the cache is fixed at 64 KB (Section 3.3.2).
+Performance is normalised to the 1024-thread point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import partitioned_design
+from repro.experiments.report import format_table
+from repro.experiments.runner import Runner
+from repro.sm.cta_scheduler import LaunchError
+
+BENCHMARKS = ("needle", "pcr", "lu", "sto")
+THREAD_POINTS = (256, 512, 768, 1024)
+
+
+@dataclass(frozen=True)
+class Figure3Point:
+    benchmark: str
+    threads: int
+    smem_kb: float
+    normalized_perf: float
+
+
+@dataclass
+class Figure3Result:
+    points: list[Figure3Point]
+
+    def line(self, benchmark: str) -> list[Figure3Point]:
+        return [p for p in self.points if p.benchmark == benchmark]
+
+    def format(self) -> str:
+        headers = ["benchmark", *(f"{t} thr" for t in THREAD_POINTS)]
+        rows = []
+        for b in BENCHMARKS:
+            line = self.line(b)
+            if line:
+                rows.append([b, *(p.normalized_perf for p in line)])
+        smem = [
+            [f"{b} smem KB", *(p.smem_kb for p in self.line(b))] for b in BENCHMARKS
+        ]
+        return format_table(
+            headers,
+            rows + smem,
+            title="Figure 3: performance vs shared memory capacity",
+        )
+
+
+def run(
+    scale: str = "small",
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+    runner: Runner | None = None,
+) -> Figure3Result:
+    rn = runner or Runner(scale)
+    points: list[Figure3Point] = []
+    for name in benchmarks:
+        trace = rn.trace(name)
+        tpc = trace.launch.threads_per_cta
+        smem_per_cta = trace.launch.smem_bytes_per_cta
+        cycles: dict[int, float] = {}
+        for threads in THREAD_POINTS:
+            ctas = max(1, threads // tpc)
+            smem_kb = max(1, -(-ctas * smem_per_cta // 1024))
+            part = partitioned_design(256, smem_kb, 64)
+            try:
+                r = rn.simulate(name, part, thread_target=threads)
+            except (LaunchError, ValueError):
+                continue
+            cycles[threads] = r.cycles
+            points.append(Figure3Point(name, threads, smem_kb, r.cycles))
+        base = cycles.get(THREAD_POINTS[-1])
+        if base:
+            for i, p in enumerate(points):
+                if p.benchmark == name:
+                    points[i] = Figure3Point(
+                        p.benchmark, p.threads, p.smem_kb, base / p.normalized_perf
+                    )
+    return Figure3Result(points)

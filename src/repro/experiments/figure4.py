@@ -1,0 +1,88 @@
+"""Figure 4: performance as a function of cache capacity.
+
+Benchmarks: bfs, pcr, gpu-mummer, needle.  Each line fixes the resident
+thread count (256..1024); each point raises the cache capacity
+(32..512 KB).  The register file eliminates spills and shared memory is
+unbounded (Section 3.3.3).  Performance is normalised to the (512 KB,
+1024 threads) point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import partitioned_design
+from repro.experiments.report import format_table
+from repro.experiments.runner import Runner
+from repro.sm.cta_scheduler import LaunchError
+
+BENCHMARKS = ("bfs", "pcr", "gpu-mummer", "needle")
+THREAD_LINES = (256, 512, 768, 1024)
+CACHE_POINTS_KB = (32, 64, 128, 256, 512)
+UNBOUNDED_SMEM_KB = 512
+
+
+@dataclass(frozen=True)
+class Figure4Point:
+    benchmark: str
+    threads: int
+    cache_kb: int
+    normalized_perf: float
+    dram_accesses: int
+
+
+@dataclass
+class Figure4Result:
+    points: list[Figure4Point]
+
+    def line(self, benchmark: str, threads: int) -> list[Figure4Point]:
+        return [
+            p for p in self.points if p.benchmark == benchmark and p.threads == threads
+        ]
+
+    def format(self) -> str:
+        headers = ["benchmark", "threads", *(f"{c}KB" for c in CACHE_POINTS_KB)]
+        rows = []
+        for b in BENCHMARKS:
+            for t in THREAD_LINES:
+                line = self.line(b, t)
+                if line:
+                    rows.append([b, t, *(p.normalized_perf for p in line)])
+        return format_table(
+            headers, rows, title="Figure 4: performance vs cache capacity"
+        )
+
+
+def run(
+    scale: str = "small",
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+    thread_lines: tuple[int, ...] = THREAD_LINES,
+    runner: Runner | None = None,
+) -> Figure4Result:
+    rn = runner or Runner(scale)
+    points: list[Figure4Point] = []
+    for name in benchmarks:
+        cycles: dict[tuple[int, int], float] = {}
+        for threads in thread_lines:
+            for cache_kb in CACHE_POINTS_KB:
+                part = partitioned_design(256, UNBOUNDED_SMEM_KB, cache_kb)
+                try:
+                    r = rn.simulate(name, part, thread_target=threads)
+                except (LaunchError, ValueError):
+                    continue
+                cycles[(threads, cache_kb)] = r.cycles
+                points.append(
+                    Figure4Point(name, threads, cache_kb, r.cycles, r.dram_accesses)
+                )
+        base = cycles.get((max(thread_lines), CACHE_POINTS_KB[-1]))
+        if base:
+            for i, p in enumerate(points):
+                if p.benchmark == name:
+                    points[i] = Figure4Point(
+                        p.benchmark,
+                        p.threads,
+                        p.cache_kb,
+                        base / p.normalized_perf,
+                        p.dram_accesses,
+                    )
+    return Figure4Result(points)

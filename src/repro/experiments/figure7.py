@@ -1,0 +1,75 @@
+"""Figure 7: unified vs partitioned for applications with no benefit.
+
+Simulates the 18 no-benefit benchmarks under the partitioned baseline
+and under the 384 KB unified design partitioned by the Section 4.5
+algorithm, then compares performance and chip energy.  The paper's
+finding: every change stays within ~1%, i.e. unification's overheads
+(larger banks, arbitration conflicts) are negligible even for apps that
+gain nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table, geomean
+from repro.experiments.runner import Runner
+from repro.kernels import NO_BENEFIT_SET
+
+
+@dataclass(frozen=True)
+class Figure7Row:
+    name: str
+    perf_ratio: float  # unified / partitioned performance (1.0 = equal)
+    energy_ratio: float  # unified / partitioned energy (lower is better)
+
+
+@dataclass
+class Figure7Result:
+    rows: list[Figure7Row]
+
+    def row(self, name: str) -> Figure7Row:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    @property
+    def mean_perf(self) -> float:
+        return geomean([r.perf_ratio for r in self.rows])
+
+    @property
+    def mean_energy(self) -> float:
+        return geomean([r.energy_ratio for r in self.rows])
+
+    def format(self) -> str:
+        headers = ["benchmark", "perf (uni/part)", "energy (uni/part)"]
+        rows = [[r.name, r.perf_ratio, r.energy_ratio] for r in self.rows]
+        rows.append(["geomean", self.mean_perf, self.mean_energy])
+        return format_table(
+            headers,
+            rows,
+            title="Figure 7: unified (384KB) vs partitioned, no-benefit applications",
+        )
+
+
+def run(
+    scale: str = "small",
+    benchmarks: tuple[str, ...] = NO_BENEFIT_SET,
+    runner: Runner | None = None,
+) -> Figure7Result:
+    rn = runner or Runner(scale)
+    rows = []
+    for name in benchmarks:
+        base = rn.baseline(name)
+        uni, _ = rn.unified(name, total_kb=384)
+        e_base = rn.priced(base).energy
+        e_uni = rn.priced(uni, baseline=base).energy
+        rows.append(
+            Figure7Row(
+                name=name,
+                perf_ratio=uni.speedup_over(base),
+                energy_ratio=e_uni.total_j / e_base.total_j,
+            )
+        )
+    return Figure7Result(rows)

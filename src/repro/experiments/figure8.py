@@ -1,0 +1,71 @@
+"""Figure 8: how the 384 KB unified memory is partitioned per benchmark.
+
+Runs the Section 4.5 allocation algorithm for the benefit set and
+reports the resulting register file / shared memory / cache split and
+the resident thread count.  Paper: RF ranges from 36 KB (bfs) to 228 KB
+(dgemm); needle devotes 264 KB to shared memory; everything left over
+becomes cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import Runner
+from repro.kernels import BENEFIT_SET
+
+#: Paper Figure 8 register-file capacities (KB) where stated in the text.
+PAPER_RF_KB = {"bfs": 36, "dgemm": 228}
+#: Paper: needle's shared-memory share of the 384 KB pool.
+PAPER_NEEDLE_SMEM_KB = 264
+
+
+@dataclass(frozen=True)
+class Figure8Row:
+    name: str
+    rf_kb: float
+    smem_kb: float
+    cache_kb: float
+    threads: int
+
+
+@dataclass
+class Figure8Result:
+    rows: list[Figure8Row]
+
+    def row(self, name: str) -> Figure8Row:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def format(self) -> str:
+        headers = ["benchmark", "RF KB", "shared KB", "cache KB", "threads"]
+        rows = [[r.name, r.rf_kb, r.smem_kb, r.cache_kb, r.threads] for r in self.rows]
+        return format_table(
+            headers, rows, title="Figure 8: 384KB unified memory partitioning"
+        )
+
+
+def run(
+    scale: str = "small",
+    benchmarks: tuple[str, ...] = BENEFIT_SET,
+    total_kb: int = 384,
+    runner: Runner | None = None,
+) -> Figure8Result:
+    rn = runner or Runner(scale)
+    rows = []
+    for name in benchmarks:
+        _, alloc = rn.unified(name, total_kb=total_kb)
+        p = alloc.partition
+        rows.append(
+            Figure8Row(
+                name=name,
+                rf_kb=p.rf_kb,
+                smem_kb=p.smem_kb,
+                cache_kb=p.cache_kb,
+                threads=alloc.resident_threads,
+            )
+        )
+    return Figure8Result(rows)

@@ -1,0 +1,105 @@
+"""Figure 9: unified vs partitioned for the benefit applications.
+
+Performance (higher is better), chip energy (lower is better), and DRAM
+traffic (lower is better) of the 384 KB unified design -- partitioned by
+the Section 4.5 algorithm -- normalised to the equal-capacity
+partitioned baseline.  Paper: speedups of 4.2%..70.8% (average 16.2%),
+DRAM reductions up to 32%, energy reductions of 2.8%..33%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table, geomean
+from repro.experiments.runner import Runner
+from repro.kernels import BENEFIT_SET, get_benchmark
+
+
+@dataclass(frozen=True)
+class Figure9Row:
+    name: str
+    speedup: float
+    energy_ratio: float
+    dram_ratio: float
+    paper_speedup: float
+    rf_kb: float
+    smem_kb: float
+    cache_kb: float
+    threads: int
+
+
+@dataclass
+class Figure9Result:
+    rows: list[Figure9Row]
+
+    def row(self, name: str) -> Figure9Row:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    @property
+    def mean_speedup(self) -> float:
+        return geomean([r.speedup for r in self.rows])
+
+    def format(self) -> str:
+        headers = [
+            "benchmark",
+            "speedup",
+            "paper",
+            "energy",
+            "DRAM",
+            "RF KB",
+            "smem KB",
+            "cache KB",
+            "threads",
+        ]
+        rows = [
+            [
+                r.name,
+                r.speedup,
+                r.paper_speedup,
+                r.energy_ratio,
+                r.dram_ratio,
+                r.rf_kb,
+                r.smem_kb,
+                r.cache_kb,
+                r.threads,
+            ]
+            for r in self.rows
+        ]
+        rows.append(["geomean", self.mean_speedup, "", "", "", "", "", "", ""])
+        return format_table(
+            headers,
+            rows,
+            title="Figure 9: unified (384KB) vs partitioned, benefit applications",
+        )
+
+
+def run(
+    scale: str = "small",
+    benchmarks: tuple[str, ...] = BENEFIT_SET,
+    runner: Runner | None = None,
+) -> Figure9Result:
+    rn = runner or Runner(scale)
+    rows = []
+    for name in benchmarks:
+        base = rn.baseline(name)
+        uni, alloc = rn.unified(name, total_kb=384)
+        e_base = rn.priced(base).energy
+        e_uni = rn.priced(uni, baseline=base).energy
+        rows.append(
+            Figure9Row(
+                name=name,
+                speedup=uni.speedup_over(base),
+                energy_ratio=e_uni.total_j / e_base.total_j,
+                dram_ratio=uni.dram_traffic_ratio(base),
+                paper_speedup=get_benchmark(name).paper_speedup_384,
+                rf_kb=alloc.partition.rf_kb,
+                smem_kb=alloc.partition.smem_kb,
+                cache_kb=alloc.partition.cache_kb,
+                threads=alloc.resident_threads,
+            )
+        )
+    return Figure9Result(rows)

@@ -1,0 +1,102 @@
+"""Plain-text line charts for the figure experiments.
+
+The paper's Figures 2-4 and 11 are line charts; the experiment drivers
+return their points, and this module renders them as unicode-block
+terminal plots so ``python -m repro experiment figure4 --plot`` (and the
+benchmark harness outputs) convey the *shape* at a glance without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+#: Vertical resolution glyphs, lowest to highest fill.
+_BLOCKS = " .:-=+*#%@"
+
+
+def ascii_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as a character grid.
+
+    Each series gets a distinct marker (its index digit / letter); a
+    legend follows the grid.  Points are mapped onto the grid by linear
+    interpolation of the axis ranges; later series overwrite earlier
+    ones where they collide.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox*+#@%&"
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:8.2f} |"
+        elif i == height - 1:
+            label = f"{y_lo:8.2f} |"
+        else:
+            label = " " * 8 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9 + f"{x_lo:<12.4g}{x_label:^{max(0, width - 24)}}{x_hi:>12.4g}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 9 + legend)
+    if y_label:
+        lines.append(" " * 9 + f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def plot_figure4(result, benchmark: str) -> str:
+    """Performance vs cache capacity, one line per thread count."""
+    series = {}
+    for threads in sorted({p.threads for p in result.points if p.benchmark == benchmark}):
+        line = result.line(benchmark, threads)
+        series[f"{threads} thr"] = [(p.cache_kb, p.normalized_perf) for p in line]
+    return ascii_plot(
+        series,
+        title=f"Figure 4 ({benchmark}): performance vs cache capacity",
+        x_label="cache KB",
+        y_label="performance, normalized",
+    )
+
+
+def plot_figure11(result) -> str:
+    """Needle performance vs shared-memory capacity per blocking factor."""
+    series = {}
+    for bf in sorted({p.blocking_factor for p in result.points}):
+        series[f"bf{bf}"] = [
+            (p.smem_kb, p.normalized_perf) for p in result.line(bf)
+        ]
+    return ascii_plot(
+        series,
+        title="Figure 11: needle blocking factors",
+        x_label="shared memory KB",
+        y_label="performance, normalized",
+    )

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table (numbers right-aligned)."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.2f}"
+        return str(v)
+
+    grid = [[cell(v) for v in row] for row in rows]
+    ncols = len(headers)
+    grid = [r[:ncols] + [""] * (ncols - len(r)) for r in grid]
+    widths = [
+        max(len(h), *(len(r[i]) for r in grid)) if grid else len(h)
+        for i, h in enumerate(headers)
+    ]
+
+    def fmt_row(cells: Sequence[str], pad: str = " ") -> str:
+        out = []
+        for i, c in enumerate(cells):
+            if i == 0:
+                out.append(c.ljust(widths[i], pad))
+            else:
+                out.append(c.rjust(widths[i], pad))
+        return "  ".join(out)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths], pad="-"))
+    lines.extend(fmt_row(r) for r in grid)
+    return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the conventional average for speedup ratios)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

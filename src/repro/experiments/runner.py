@@ -1,0 +1,152 @@
+"""Shared experiment machinery: build, compile, simulate, price -- cached.
+
+Traces depend only on (benchmark, scale, extra build params); compiled
+kernels add the register budget; simulations add the partition and
+thread target.  Each level is memoised so sweeps over memory
+configurations re-use the expensive trace/compile work, exactly like the
+paper's trace-driven methodology re-runs one trace through many
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler import CompiledKernel, compile_kernel
+from repro.core import allocate_unified, fermi_like, partitioned_baseline
+from repro.core.allocator import UnifiedAllocation
+from repro.core.partition import KB, MemoryPartition
+from repro.energy import EnergyBreakdown, EnergyModel
+from repro.isa.kernel import KernelTrace
+from repro.kernels import get_benchmark
+from repro.sm import SMConfig, SimResult, simulate
+
+
+@dataclass(frozen=True)
+class BenchmarkRun:
+    """One priced simulation."""
+
+    result: SimResult
+    energy: EnergyBreakdown
+
+    @property
+    def cycles(self) -> float:
+        return self.result.cycles
+
+    @property
+    def dram_accesses(self) -> int:
+        return self.result.dram_accesses
+
+
+def _partition_key(p: MemoryPartition) -> tuple:
+    return (p.style.value, p.rf_bytes, p.smem_bytes, p.cache_bytes)
+
+
+class Runner:
+    """Caching façade over the kernel suite and the SM simulator."""
+
+    def __init__(self, scale: str = "small", config: SMConfig | None = None) -> None:
+        self.scale = scale
+        self.config = config or SMConfig()
+        self.energy_model = EnergyModel()
+        self._traces: dict[tuple, KernelTrace] = {}
+        self._compiled: dict[tuple, CompiledKernel] = {}
+        self._sims: dict[tuple, SimResult] = {}
+
+    # -- construction ---------------------------------------------------
+    def trace(self, name: str, **params) -> KernelTrace:
+        key = (name, tuple(sorted(params.items())))
+        if key not in self._traces:
+            self._traces[key] = get_benchmark(name).build(self.scale, **params)
+        return self._traces[key]
+
+    def compiled(self, name: str, regs: int | None = None, **params) -> CompiledKernel:
+        key = (name, regs, tuple(sorted(params.items())))
+        if key not in self._compiled:
+            self._compiled[key] = compile_kernel(self.trace(name, **params), regs)
+        return self._compiled[key]
+
+    def no_spill_regs(self, name: str, **params) -> int:
+        """Registers/thread to avoid spills (Table 1, column 2)."""
+        return self.compiled(name, **params).max_live
+
+    # -- simulation -----------------------------------------------------
+    def simulate(
+        self,
+        name: str,
+        partition: MemoryPartition,
+        regs: int | None = None,
+        thread_target: int | None = None,
+        **params,
+    ) -> SimResult:
+        key = (
+            name,
+            regs,
+            _partition_key(partition),
+            thread_target,
+            tuple(sorted(params.items())),
+        )
+        if key not in self._sims:
+            self._sims[key] = simulate(
+                self.compiled(name, regs, **params),
+                partition,
+                self.config,
+                thread_target=thread_target,
+            )
+        return self._sims[key]
+
+    def baseline(self, name: str, **kw) -> SimResult:
+        """The 256/64/64 partitioned baseline (Section 2.1)."""
+        return self.simulate(name, partitioned_baseline(), **kw)
+
+    def unified(
+        self,
+        name: str,
+        total_kb: int = 384,
+        thread_target: int | None = None,
+        **params,
+    ) -> tuple[SimResult, UnifiedAllocation]:
+        """Section 4.5 allocation at ``total_kb`` followed by simulation."""
+        trace = self.trace(name, **params)
+        ck = self.compiled(name, **params)
+        alloc = allocate_unified(
+            total_kb * KB,
+            regs_per_thread=ck.regs_per_thread,
+            threads_per_cta=trace.launch.threads_per_cta,
+            smem_bytes_per_cta=trace.launch.smem_bytes_per_cta,
+            thread_target=thread_target if thread_target is not None else 1024,
+        )
+        result = self.simulate(
+            name, alloc.partition, thread_target=thread_target, **params
+        )
+        return result, alloc
+
+    def fermi_best(self, name: str, **params) -> SimResult:
+        """Fermi-like design with the better of the two splits.
+
+        The paper's programmer picks the configuration per kernel; we
+        simulate both and keep the faster, which is what tuning would
+        converge to.  Splits whose occupancy cannot fit the kernel are
+        skipped.
+        """
+        best: SimResult | None = None
+        from repro.sm.cta_scheduler import LaunchError
+
+        for split in (0, 1):
+            try:
+                r = self.simulate(name, fermi_like(split), **params)
+            except LaunchError:
+                continue
+            if best is None or r.cycles < best.cycles:
+                best = r
+        if best is None:
+            raise LaunchError(f"{name} fits neither Fermi-like split")
+        return best
+
+    # -- pricing ----------------------------------------------------------
+    def priced(self, result: SimResult, baseline: SimResult | None = None) -> BenchmarkRun:
+        base_cycles = baseline.cycles if baseline is not None else result.cycles
+        return BenchmarkRun(
+            result=result,
+            energy=self.energy_model.evaluate(result, baseline_cycles=base_cycles),
+        )

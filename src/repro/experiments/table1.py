@@ -1,0 +1,117 @@
+"""Table 1: workload characterisation.
+
+For every benchmark: registers/thread to avoid spills, dynamic
+instruction overhead at 18/24/32/40/64 registers, the register file
+capacity needed for full occupancy, shared memory per thread, and
+normalised DRAM accesses with a 0 / 64 KB / 256 KB cache (256 KB is the
+normalisation base, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import partitioned_design
+from repro.core.partition import MAX_THREADS
+from repro.experiments.report import format_table
+from repro.experiments.runner import Runner
+from repro.kernels import all_benchmarks
+
+#: Register budgets of Table 1 columns 3-7.
+REG_BUDGETS = (18, 24, 32, 40, 64)
+#: Cache capacities of columns 10-12 (KB); the last is the base.
+CACHE_POINTS_KB = (0, 64, 256)
+#: "Unbounded" shared memory for the cache study (Section 3.3.3).
+UNBOUNDED_SMEM_KB = 512
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    name: str
+    regs_per_thread: int
+    spill_overhead: tuple[float, ...]  # dynamic instr ratio per REG_BUDGETS
+    rf_full_occupancy_kb: float
+    smem_bytes_per_thread: float
+    dram_normalized: tuple[float, ...]  # per CACHE_POINTS_KB
+    paper_regs: int
+    paper_smem: float
+    paper_dram: tuple[float, float]
+
+
+@dataclass
+class Table1Result:
+    rows: list[Table1Row]
+
+    def row(self, name: str) -> Table1Row:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def format(self) -> str:
+        headers = [
+            "benchmark",
+            "regs",
+            *(f"I@{r}" for r in REG_BUDGETS),
+            "RF(KB)",
+            "smem B/t",
+            *(f"DRAM@{c}K" for c in CACHE_POINTS_KB),
+            "regs(paper)",
+            "smem(paper)",
+        ]
+        data = [
+            [
+                r.name,
+                r.regs_per_thread,
+                *r.spill_overhead,
+                r.rf_full_occupancy_kb,
+                r.smem_bytes_per_thread,
+                *r.dram_normalized,
+                r.paper_regs,
+                r.paper_smem,
+            ]
+            for r in self.rows
+        ]
+        return format_table(headers, data, title="Table 1: workload characteristics")
+
+
+def run(
+    scale: str = "small",
+    benchmarks: list[str] | None = None,
+    runner: Runner | None = None,
+) -> Table1Result:
+    """Regenerate Table 1 (optionally for a subset of benchmarks)."""
+    rn = runner or Runner(scale)
+    rows: list[Table1Row] = []
+    for bm in all_benchmarks():
+        if benchmarks is not None and bm.name not in benchmarks:
+            continue
+        base_ck = rn.compiled(bm.name)
+        regs = base_ck.max_live
+        overheads = []
+        for budget in REG_BUDGETS:
+            if budget >= regs:
+                overheads.append(1.0)
+            else:
+                ck = rn.compiled(bm.name, regs=budget)
+                overheads.append(ck.total_ops / base_ck.total_ops)
+        trace = rn.trace(bm.name)
+        dram = []
+        for cache_kb in CACHE_POINTS_KB:
+            part = partitioned_design(256, UNBOUNDED_SMEM_KB, cache_kb)
+            dram.append(rn.simulate(bm.name, part).dram_accesses)
+        base_dram = dram[-1] or 1
+        rows.append(
+            Table1Row(
+                name=bm.name,
+                regs_per_thread=regs,
+                spill_overhead=tuple(overheads),
+                rf_full_occupancy_kb=regs * 4 * MAX_THREADS / 1024,
+                smem_bytes_per_thread=trace.launch.smem_bytes_per_thread,
+                dram_normalized=tuple(d / base_dram for d in dram),
+                paper_regs=bm.paper_regs,
+                paper_smem=bm.paper_smem_bytes_per_thread,
+                paper_dram=bm.paper_dram,
+            )
+        )
+    return Table1Result(rows)

@@ -1,0 +1,81 @@
+"""Table 4: SRAM bank access energies, partitioned vs unified.
+
+Checks our CACTI-substitute power-law fit against the paper's published
+per-access energies and derives the values for the design points the
+paper discusses (2 KB shared/cache banks, 8 KB MRF banks, 12 KB unified
+banks, plus the Fermi-like 4 KB pool banks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy import TABLE4_POINTS, bank_energy
+from repro.experiments.report import format_table
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    structure: str
+    bank_kb: float
+    read_pj: float
+    write_pj: float
+    paper_read_pj: float | None
+    paper_write_pj: float | None
+
+
+@dataclass
+class Table4Result:
+    rows: list[Table4Row]
+
+    def max_relative_error(self) -> float:
+        errs = []
+        for r in self.rows:
+            if r.paper_read_pj:
+                errs.append(abs(r.read_pj - r.paper_read_pj) / r.paper_read_pj)
+            if r.paper_write_pj:
+                errs.append(abs(r.write_pj - r.paper_write_pj) / r.paper_write_pj)
+        return max(errs) if errs else 0.0
+
+    def format(self) -> str:
+        headers = ["structure", "bank KB", "read pJ", "write pJ", "paper R", "paper W"]
+        rows = [
+            [
+                r.structure,
+                r.bank_kb,
+                r.read_pj,
+                r.write_pj,
+                r.paper_read_pj if r.paper_read_pj is not None else "-",
+                r.paper_write_pj if r.paper_write_pj is not None else "-",
+            ]
+            for r in self.rows
+        ]
+        return format_table(headers, rows, title="Table 4: SRAM bank access energy")
+
+
+_STRUCTURES = [
+    ("64KB shared/cache (partitioned)", 2.0),
+    ("128KB pool (Fermi-like)", 4.0),
+    ("256KB RF (partitioned)", 8.0),
+    ("384KB unified", 12.0),
+    ("256KB unified", 8.0),
+    ("128KB unified", 4.0),
+]
+
+
+def run() -> Table4Result:
+    published = {kb: (r, w) for kb, r, w in TABLE4_POINTS}
+    rows = []
+    for label, kb in _STRUCTURES:
+        pub = published.get(kb, (None, None))
+        rows.append(
+            Table4Row(
+                structure=label,
+                bank_kb=kb,
+                read_pj=bank_energy(kb),
+                write_pj=bank_energy(kb, write=True),
+                paper_read_pj=pub[0],
+                paper_write_pj=pub[1],
+            )
+        )
+    return Table4Result(rows)

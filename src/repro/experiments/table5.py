@@ -1,0 +1,71 @@
+"""Table 5: warp instructions by maximum accesses to a single bank.
+
+Runs the Figure 7 (no-benefit) suite under the partitioned baseline and
+the equal-capacity unified design, and aggregates each design's
+per-instruction bank-access histograms.  The paper's finding: ~97% of
+warp instructions make at most one access to any bank in both designs,
+with the unified design adding a fraction of a percentage point of
+multi-access instructions (arbitration conflicts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import DesignStyle, MemoryPartition, partitioned_baseline
+from repro.core.partition import KB
+from repro.experiments.report import format_table
+from repro.experiments.runner import Runner
+from repro.kernels import NO_BENEFIT_SET
+from repro.memory.banks import ConflictHistogram
+
+#: Paper Table 5 fractions for (<=1, 2, 3, 4, >4).
+PAPER_PARTITIONED = (0.970, 0.027, 0.0009, 0.0014, 0.0003)
+PAPER_UNIFIED = (0.964, 0.034, 0.0001, 0.0002, 0.0021)
+
+
+def equal_capacity_unified() -> MemoryPartition:
+    """384 KB unified pool with the baseline's 256/64/64 split."""
+    return MemoryPartition(
+        DesignStyle.UNIFIED,
+        rf_bytes=256 * KB,
+        smem_bytes=64 * KB,
+        cache_bytes=64 * KB,
+    )
+
+
+@dataclass
+class Table5Result:
+    partitioned: ConflictHistogram
+    unified: ConflictHistogram
+
+    def format(self) -> str:
+        headers = ["design", "<=1", "2", "3", "4", ">4"]
+        rows = []
+        for label, hist, paper in (
+            ("partitioned", self.partitioned, PAPER_PARTITIONED),
+            ("unified", self.unified, PAPER_UNIFIED),
+        ):
+            f = hist.fractions()
+            rows.append(
+                [label, *(f"{f[k]:.4f}" for k in ("<=1", "2", "3", "4", ">4"))]
+            )
+            rows.append([f"{label} (paper)", *(f"{v:.4f}" for v in paper)])
+        return format_table(
+            headers, rows, title="Table 5: max accesses to a single bank per instruction"
+        )
+
+
+def run(
+    scale: str = "small",
+    benchmarks: tuple[str, ...] = NO_BENEFIT_SET,
+    runner: Runner | None = None,
+) -> Table5Result:
+    rn = runner or Runner(scale)
+    part_hist = ConflictHistogram()
+    uni_hist = ConflictHistogram()
+    uni = equal_capacity_unified()
+    for name in benchmarks:
+        part_hist.merge(rn.simulate(name, partitioned_baseline()).conflict_histogram)
+        uni_hist.merge(rn.simulate(name, uni).conflict_histogram)
+    return Table5Result(part_hist, uni_hist)

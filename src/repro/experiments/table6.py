@@ -1,0 +1,141 @@
+"""Table 6: performance and energy across unified memory capacities.
+
+Evaluates the unified design at 128, 256, and 384 KB total capacity,
+normalised to the 384 KB partitioned baseline, for the benefit set plus
+the average of the no-benefit (Figure 7) set.  Paper findings we check:
+register-heavy benchmarks (dgemm, pcr) are *hurt* at 128 KB (0.77x),
+performance generally peaks at 384 KB, and the no-benefit set sees its
+lowest energy at 128 KB (less SRAM leaking).
+
+When a kernel cannot fit even one CTA at a capacity (the Section 4.5
+allocator refuses), we fall back to the spilled configuration: the
+register budget is shrunk until the CTA fits, spill code and all --
+matching how a real system would still run the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import AllocationError, allocate_unified
+from repro.core.partition import KB
+from repro.experiments.report import format_table, geomean
+from repro.experiments.runner import Runner
+from repro.kernels import BENEFIT_SET, NO_BENEFIT_SET, get_benchmark
+
+CAPACITIES_KB = (128, 256, 384)
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    name: str
+    perf: tuple[float, ...]  # per capacity, normalised to baseline
+    energy: tuple[float, ...]
+    paper_perf: tuple[float, float, float] | None
+    paper_energy: tuple[float, float, float] | None
+
+
+@dataclass
+class Table6Result:
+    rows: list[Table6Row]
+
+    def row(self, name: str) -> Table6Row:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def format(self) -> str:
+        headers = [
+            "benchmark",
+            *(f"perf@{c}K" for c in CAPACITIES_KB),
+            *(f"E@{c}K" for c in CAPACITIES_KB),
+        ]
+        rows = []
+        for r in self.rows:
+            rows.append([r.name, *r.perf, *r.energy])
+            if r.paper_perf:
+                rows.append([f"{r.name} (paper)", *r.paper_perf, *r.paper_energy])
+        return format_table(
+            headers,
+            rows,
+            title="Table 6: unified capacity sensitivity (vs 384KB partitioned)",
+        )
+
+
+def _spilled_allocation(runner: Runner, name: str, total_bytes: int):
+    """Shrink the register budget until one CTA fits, inserting spills."""
+    trace = runner.trace(name)
+    tpc = trace.launch.threads_per_cta
+    smem = trace.launch.smem_bytes_per_cta
+    regs = runner.no_spill_regs(name)
+    while regs > 4:
+        regs -= 1
+        try:
+            alloc = allocate_unified(
+                total_bytes, regs_per_thread=regs, threads_per_cta=tpc,
+                smem_bytes_per_cta=smem,
+            )
+        except AllocationError:
+            continue
+        return regs, alloc
+    raise AllocationError(f"{name} cannot fit {total_bytes} bytes at any register budget")
+
+
+def run(
+    scale: str = "small",
+    benchmarks: tuple[str, ...] = BENEFIT_SET,
+    no_benefit: tuple[str, ...] = NO_BENEFIT_SET,
+    runner: Runner | None = None,
+) -> Table6Result:
+    rn = runner or Runner(scale)
+    rows: list[Table6Row] = []
+
+    def evaluate(name: str) -> tuple[list[float], list[float]]:
+        base = rn.baseline(name)
+        e_base = rn.priced(base).energy
+        perf, energy = [], []
+        for cap in CAPACITIES_KB:
+            try:
+                result, _ = rn.unified(name, total_kb=cap)
+            except AllocationError:
+                regs, alloc = _spilled_allocation(rn, name, cap * KB)
+                result = rn.simulate(name, alloc.partition, regs=regs)
+            e = rn.priced(result, baseline=base).energy
+            perf.append(result.speedup_over(base))
+            energy.append(e.total_j / e_base.total_j)
+        return perf, energy
+
+    for name in benchmarks:
+        bm = get_benchmark(name)
+        perf, energy = evaluate(name)
+        rows.append(
+            Table6Row(
+                name=name,
+                perf=tuple(perf),
+                energy=tuple(energy),
+                paper_perf=bm.paper_table6_perf,
+                paper_energy=bm.paper_table6_energy,
+            )
+        )
+    if no_benefit:
+        all_perf = []
+        all_energy = []
+        for name in no_benefit:
+            p, e = evaluate(name)
+            all_perf.append(p)
+            all_energy.append(e)
+        rows.append(
+            Table6Row(
+                name="no-benefit avg",
+                perf=tuple(
+                    geomean([p[i] for p in all_perf]) for i in range(len(CAPACITIES_KB))
+                ),
+                energy=tuple(
+                    geomean([e[i] for e in all_energy]) for i in range(len(CAPACITIES_KB))
+                ),
+                paper_perf=(0.99, 1.00, 1.00),
+                paper_energy=(0.93, 0.96, 1.00),
+            )
+        )
+    return Table6Result(rows)

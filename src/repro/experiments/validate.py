@@ -1,0 +1,139 @@
+"""Reproduction scorecard: automated paper-vs-measured checks.
+
+Runs the headline experiments and grades every qualitative claim the
+reproduction must preserve (the same list the integration test suite
+enforces), producing a PASS/FAIL table -- the quick answer to "did the
+reproduction hold after my change?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import figure7, figure8, figure9, table4, table6
+from repro.experiments.report import format_table
+from repro.experiments.runner import Runner
+
+
+@dataclass(frozen=True)
+class Check:
+    claim: str
+    paper: str
+    measured: str
+    passed: bool
+
+
+@dataclass
+class Scorecard:
+    checks: list[Check]
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def score(self) -> str:
+        done = sum(1 for c in self.checks if c.passed)
+        return f"{done}/{len(self.checks)}"
+
+    def format(self) -> str:
+        rows = [
+            [("PASS" if c.passed else "FAIL"), c.claim, c.paper, c.measured]
+            for c in self.checks
+        ]
+        table = format_table(
+            ["", "claim", "paper", "measured"],
+            rows,
+            title=f"Reproduction scorecard: {self.score} claims hold",
+        )
+        return table
+
+
+def run(scale: str = "small", runner: Runner | None = None) -> Scorecard:
+    rn = runner or Runner(scale)
+    checks: list[Check] = []
+
+    def check(claim: str, paper: str, measured: str, ok: bool) -> None:
+        checks.append(Check(claim, paper, measured, ok))
+
+    # Table 4 --------------------------------------------------------------
+    t4 = table4.run()
+    err = t4.max_relative_error()
+    check("SRAM energies match Table 4", "exact", f"max err {err:.1%}", err < 0.05)
+
+    # Figure 9 -------------------------------------------------------------
+    f9 = figure9.run(runner=rn)
+    needle = f9.row("needle").speedup
+    check(
+        "needle has the largest unified speedup",
+        "1.71x (largest)",
+        f"{needle:.2f}x",
+        needle == max(r.speedup for r in f9.rows) and needle > 1.4,
+    )
+    check(
+        "every benefit app helped or neutral",
+        ">= 1.0 for all 8",
+        f"min {min(r.speedup for r in f9.rows):.2f}x",
+        all(r.speedup >= 0.99 for r in f9.rows),
+    )
+    check(
+        "average benefit speedup",
+        "+16.2%",
+        f"{100 * (f9.mean_speedup - 1):+.1f}%",
+        1.05 < f9.mean_speedup < 1.4,
+    )
+    check(
+        "energy falls for benefit apps",
+        "-2.8%..-33%",
+        f"worst {max(r.energy_ratio for r in f9.rows):.2f}x",
+        all(r.energy_ratio <= 1.01 for r in f9.rows),
+    )
+
+    # Figure 7 -------------------------------------------------------------
+    f7 = figure7.run(runner=rn)
+    worst = max(f7.rows, key=lambda r: abs(r.perf_ratio - 1.0))
+    check(
+        "no-benefit apps unaffected",
+        "within 1%",
+        f"worst {worst.name} {worst.perf_ratio:.2f}x",
+        all(0.95 <= r.perf_ratio <= 1.06 for r in f7.rows),
+    )
+
+    # Figure 8 -------------------------------------------------------------
+    f8 = figure8.run(runner=rn)
+    check(
+        "bfs allocates the smallest RF",
+        "36 KB",
+        f"{f8.row('bfs').rf_kb:.0f} KB",
+        abs(f8.row("bfs").rf_kb - 36) < 1,
+    )
+    check(
+        "dgemm allocates the largest RF",
+        "228 KB",
+        f"{f8.row('dgemm').rf_kb:.0f} KB",
+        abs(f8.row("dgemm").rf_kb - 228) < 1,
+    )
+
+    # Table 6 --------------------------------------------------------------
+    t6 = table6.run(runner=rn)
+    check(
+        "128 KB hurts register-heavy apps",
+        "dgemm 0.77x",
+        f"dgemm {t6.row('dgemm').perf[0]:.2f}x",
+        t6.row("dgemm").perf[0] < 1.0,
+    )
+    needle6 = t6.row("needle").perf
+    check(
+        "needle peaks at 256 KB",
+        "1.75 > 1.71",
+        f"{needle6[1]:.2f} vs {needle6[2]:.2f}",
+        needle6[1] >= needle6[2],
+    )
+    nb = t6.row("no-benefit avg").energy
+    check(
+        "no-benefit energy lowest at 128 KB",
+        "0.93 < 0.96 < 1.00",
+        " < ".join(f"{e:.2f}" for e in nb),
+        nb[0] == min(nb),
+    )
+    return Scorecard(checks)

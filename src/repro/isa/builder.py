@@ -1,0 +1,155 @@
+"""SSA-style construction API for warp instruction streams.
+
+Benchmark kernels (:mod:`repro.kernels`) re-implement their algorithms at
+warp granularity and use :class:`WarpBuilder` to emit the instruction
+stream one warp would execute.  Values are virtual registers returned by
+the emit methods; holding a value and reusing it later extends its live
+range, which is how kernels express their true register pressure -- the
+linear-scan allocator in :mod:`repro.compiler.regalloc` later derives the
+"registers per thread to avoid spills" number (Table 1, column 2) from
+exactly these live ranges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import WARP_SIZE, WarpOp
+
+
+class WarpBuilder:
+    """Accumulates :class:`WarpOp` records for a single warp.
+
+    Example::
+
+        b = WarpBuilder()
+        addr = b.iconst()
+        x = b.load_global([base + 4 * t for t in range(32)], addr)
+        y = b.alu(x, x)
+        b.store_global([out + 4 * t for t in range(32)], addr, y)
+        ops = b.ops
+    """
+
+    def __init__(self, active: int = WARP_SIZE) -> None:
+        if not 1 <= active <= WARP_SIZE:
+            raise ValueError(f"active={active} outside [1, {WARP_SIZE}]")
+        self._active = active
+        self._next_vreg = 0
+        self._ops: list[WarpOp] = []
+
+    # ------------------------------------------------------------------
+    # value producers
+    # ------------------------------------------------------------------
+    def _fresh(self) -> int:
+        v = self._next_vreg
+        self._next_vreg += 1
+        return v
+
+    def iconst(self) -> int:
+        """Materialise an immediate / special value (tid, ctaid, constant).
+
+        Modelled as a 1-operand-free ALU op producing a fresh register.
+        """
+        return self.alu()
+
+    def alu(self, *srcs: int, active: int | None = None) -> int:
+        """Emit an arithmetic instruction and return its result register."""
+        dst = self._fresh()
+        self._emit(OpClass.ALU, dst, srcs, None, active)
+        return dst
+
+    def alu_into(self, dst: int, *srcs: int, active: int | None = None) -> int:
+        """Emit an ALU op that accumulates into an existing register.
+
+        Reads ``dst`` and all ``srcs``, writes ``dst``.  This is the idiom
+        for multiply-accumulate chains (e.g. the DGEMM register block),
+        which keep many values live simultaneously.
+        """
+        self._emit(OpClass.ALU, dst, (dst, *srcs), None, active)
+        return dst
+
+    def sfu(self, *srcs: int, active: int | None = None) -> int:
+        """Emit a special-function (rsqrt/sin/exp/...) instruction."""
+        dst = self._fresh()
+        self._emit(OpClass.SFU, dst, srcs, None, active)
+        return dst
+
+    def tex(self, *srcs: int, active: int | None = None) -> int:
+        """Emit a texture fetch (Table 2: 400-cycle latency path)."""
+        dst = self._fresh()
+        self._emit(OpClass.TEX, dst, srcs, None, active)
+        return dst
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def load_global(
+        self, addrs: Iterable[int], *srcs: int, active: int | None = None
+    ) -> int:
+        dst = self._fresh()
+        self._emit(OpClass.LOAD_GLOBAL, dst, srcs, tuple(addrs), active)
+        return dst
+
+    def store_global(
+        self, addrs: Iterable[int], *srcs: int, active: int | None = None
+    ) -> None:
+        self._emit(OpClass.STORE_GLOBAL, None, srcs, tuple(addrs), active)
+
+    def load_shared(
+        self, addrs: Iterable[int], *srcs: int, active: int | None = None
+    ) -> int:
+        dst = self._fresh()
+        self._emit(OpClass.LOAD_SHARED, dst, srcs, tuple(addrs), active)
+        return dst
+
+    def store_shared(
+        self, addrs: Iterable[int], *srcs: int, active: int | None = None
+    ) -> None:
+        self._emit(OpClass.STORE_SHARED, None, srcs, tuple(addrs), active)
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Emit a CTA-wide barrier (``bar.sync``)."""
+        self._ops.append(WarpOp(OpClass.BARRIER, active=self._active))
+
+    def touch(self, *vregs: int, active: int | None = None) -> int:
+        """Consume values without producing pressure of its own.
+
+        Emits a single ALU op reading ``vregs``; used by kernels to keep a
+        pool of values live across a region (e.g. ray-tracing state).
+        """
+        return self.alu(*vregs, active=active)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def ops(self) -> list[WarpOp]:
+        """The emitted instruction stream (live list; do not mutate)."""
+        return self._ops
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+    @property
+    def num_vregs(self) -> int:
+        return self._next_vreg
+
+    def _emit(
+        self,
+        op: OpClass,
+        dst: int | None,
+        srcs: Sequence[int],
+        addrs: tuple[int, ...] | None,
+        active: int | None,
+    ) -> None:
+        n = self._active if active is None else active
+        if addrs is not None and len(addrs) != n:
+            # Kernels frequently compute full-warp address vectors and then
+            # execute with a partial mask (edge tiles); truncate to match.
+            addrs = addrs[:n]
+        self._ops.append(WarpOp(op, dst, tuple(srcs), addrs, n))

@@ -1,0 +1,137 @@
+"""Kernel-trace serialization.
+
+Traces are the expensive artefact of this pipeline (the Ocelot-
+equivalent step); persisting them lets a workstation generate once and a
+CI sweep re-simulate many configurations, exactly how the paper's
+trace-driven methodology separates tracing from simulation.
+
+Format: a single compressed ``.npz`` holding the launch metadata plus
+five parallel numpy arrays encoding every warp instruction:
+
+* ``op``      -- opcode ordinal (uint8)
+* ``dst``     -- destination vreg + 1, 0 for none (int32)
+* ``srcs``    -- flattened source registers with ``src_off`` offsets
+* ``addrs``   -- flattened byte addresses with ``addr_off`` offsets
+* ``bounds``  -- (cta, warp) boundaries as op counts
+
+The encoding is lossless: ``load(save(trace))`` reproduces the trace
+exactly (verified by property test).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.isa.kernel import CTATrace, KernelTrace, LaunchConfig
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import WarpOp
+
+_OPCODES = list(OpClass)
+_OP_INDEX = {op: i for i, op in enumerate(_OPCODES)}
+
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: KernelTrace, path: str | Path) -> None:
+    """Write a kernel trace to ``path`` (``.npz``)."""
+    ops: list[int] = []
+    dsts: list[int] = []
+    srcs: list[int] = []
+    src_off: list[int] = [0]
+    addrs: list[int] = []
+    addr_off: list[int] = [0]
+    actives: list[int] = []
+    warp_bounds: list[int] = [0]
+    total = 0
+    for cta in trace.ctas:
+        for warp in cta.warps:
+            for op in warp:
+                ops.append(_OP_INDEX[op.op])
+                dsts.append(0 if op.dst is None else op.dst + 1)
+                srcs.extend(op.srcs)
+                src_off.append(len(srcs))
+                if op.addrs is not None:
+                    addrs.extend(op.addrs)
+                addr_off.append(len(addrs))
+                actives.append(op.active)
+                total += 1
+            warp_bounds.append(total)
+    meta = {
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "threads_per_cta": trace.launch.threads_per_cta,
+        "num_ctas": trace.launch.num_ctas,
+        "smem_bytes_per_cta": trace.launch.smem_bytes_per_cta,
+        "uses_texture": trace.uses_texture,
+        "warps_per_cta": trace.launch.warps_per_cta,
+        "opcodes": [op.value for op in _OPCODES],
+    }
+    np.savez_compressed(
+        Path(path),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        op=np.asarray(ops, dtype=np.uint8),
+        dst=np.asarray(dsts, dtype=np.int32),
+        srcs=np.asarray(srcs, dtype=np.int32),
+        src_off=np.asarray(src_off, dtype=np.int64),
+        addrs=np.asarray(addrs, dtype=np.int64),
+        addr_off=np.asarray(addr_off, dtype=np.int64),
+        active=np.asarray(actives, dtype=np.uint8),
+        warp_bounds=np.asarray(warp_bounds, dtype=np.int64),
+    )
+
+
+def load_trace(path: str | Path) -> KernelTrace:
+    """Read a kernel trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        if meta.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {meta.get('version')!r}"
+            )
+        stored_ops = meta["opcodes"]
+        current = [op.value for op in _OPCODES]
+        if stored_ops != current:
+            raise ValueError("opcode table mismatch; trace written by another build")
+        op_arr = data["op"]
+        dst = data["dst"]
+        srcs = data["srcs"]
+        src_off = data["src_off"]
+        addrs = data["addrs"]
+        addr_off = data["addr_off"]
+        active = data["active"]
+        warp_bounds = data["warp_bounds"]
+
+    def decode(i: int) -> WarpOp:
+        opc = _OPCODES[op_arr[i]]
+        s0, s1 = src_off[i], src_off[i + 1]
+        a0, a1 = addr_off[i], addr_off[i + 1]
+        return WarpOp(
+            op=opc,
+            dst=None if dst[i] == 0 else int(dst[i]) - 1,
+            srcs=tuple(int(x) for x in srcs[s0:s1]),
+            addrs=tuple(int(x) for x in addrs[a0:a1]) if a1 > a0 else None,
+            active=int(active[i]),
+        )
+
+    launch = LaunchConfig(
+        threads_per_cta=meta["threads_per_cta"],
+        num_ctas=meta["num_ctas"],
+        smem_bytes_per_cta=meta["smem_bytes_per_cta"],
+    )
+    warps_per_cta = meta["warps_per_cta"]
+    ctas: list[CTATrace] = []
+    wb = list(warp_bounds)
+    w = 0
+    for _ in range(meta["num_ctas"]):
+        warps = []
+        for _ in range(warps_per_cta):
+            start, end = wb[w], wb[w + 1]
+            warps.append([decode(i) for i in range(start, end)])
+            w += 1
+        ctas.append(CTATrace(warps))
+    return KernelTrace(
+        meta["name"], launch, ctas, uses_texture=meta["uses_texture"]
+    )

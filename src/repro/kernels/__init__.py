@@ -1,0 +1,39 @@
+"""Benchmark kernels: algorithmic trace generators for the Table 1 suite.
+
+The paper traces 26 CUDA benchmarks with Ocelot (Section 5.1).  We
+substitute each with a warp-level re-implementation of the same
+algorithm on scaled inputs: the generators execute the real computation
+structure (wavefront dynamic programming, blocked matrix multiply,
+cyclic reduction, graph traversal, stencils, hashing, ray marching, ...)
+and emit per-warp instruction and address streams.  What the paper's
+evaluation actually consumes from a trace -- instruction mix, per-thread
+register pressure, shared-memory footprint, barrier structure, and
+global-memory locality -- is reproduced by construction; see each
+module's docstring for the mapping and the engineering targets taken
+from Table 1.
+
+Use :mod:`repro.kernels.registry` to enumerate benchmarks::
+
+    from repro.kernels import get_benchmark, all_benchmarks
+    trace = get_benchmark("needle").build("small")
+"""
+
+from repro.kernels.registry import (
+    BENEFIT_SET,
+    NO_BENEFIT_SET,
+    Benchmark,
+    Category,
+    all_benchmarks,
+    benchmarks_in,
+    get_benchmark,
+)
+
+__all__ = [
+    "BENEFIT_SET",
+    "Benchmark",
+    "Category",
+    "NO_BENEFIT_SET",
+    "all_benchmarks",
+    "benchmarks_in",
+    "get_benchmark",
+]

@@ -1,0 +1,41 @@
+"""Extension suite: emerging irregular workloads (paper Sections 1, 8).
+
+The paper motivates unified memory with applications beyond the tuned
+CUDA suites: "this situation is exacerbated as more applications are
+mapped to GPUs, especially irregular ones with diverse memory
+requirements", and concludes that the flexible design "broadens the
+scope of applications that GPUs can efficiently execute".
+
+This package makes that argument measurable.  Four irregular kernels
+are written as per-thread programs and traced by the SIMT emulator
+(:mod:`repro.emulator`) -- real divergence, data-dependent loop trip
+counts, and pointer-chasing gathers -- then run through the same
+baseline-vs-unified comparison as the paper suite
+(:mod:`repro.experiments.irregular`):
+
+* ``collatz``   -- per-thread iteration search; pure divergence stress.
+* ``binsearch`` -- batched binary search over a sorted table; log-depth
+  loops with hot upper levels and scattered leaves.
+* ``spmv``      -- CSR sparse matrix-vector product; variable row
+  lengths plus gathers into the dense vector.
+* ``hashprobe`` -- open-addressing hash-table probing; variable-length
+  probe chains over a scattered table.
+
+None of them uses shared memory and all have small register footprints,
+so under the Section 4.5 allocator nearly the whole pool becomes cache
+-- exactly the adaptation the paper predicts these workloads need.
+"""
+
+from repro.kernels.irregular.registry import (
+    IRREGULAR_REGISTRY,
+    IrregularWorkload,
+    all_irregular,
+    get_irregular,
+)
+
+__all__ = [
+    "IRREGULAR_REGISTRY",
+    "IrregularWorkload",
+    "all_irregular",
+    "get_irregular",
+]

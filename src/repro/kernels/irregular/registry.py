@@ -1,0 +1,63 @@
+"""Registry of the irregular extension workloads."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.isa.kernel import KernelTrace
+from repro.kernels.irregular import workloads
+
+
+@dataclass(frozen=True)
+class IrregularWorkload:
+    name: str
+    build: Callable[..., KernelTrace]
+    description: str
+    #: The memory behaviour that makes it irregular.
+    irregularity: str
+
+
+IRREGULAR_REGISTRY: dict[str, IrregularWorkload] = {
+    w.name: w
+    for w in [
+        IrregularWorkload(
+            "collatz",
+            workloads.build_collatz,
+            "per-thread Collatz iteration counts",
+            "data-dependent loop trip counts (pure divergence)",
+        ),
+        IrregularWorkload(
+            "binsearch",
+            workloads.build_binsearch,
+            "batched binary search over a 192 KB sorted table",
+            "log-depth loops; hot upper levels, scattered leaves",
+        ),
+        IrregularWorkload(
+            "spmv",
+            workloads.build_spmv,
+            "CSR sparse matrix-vector product, one thread per row",
+            "variable row lengths; gathers into a 96 KB dense vector",
+        ),
+        IrregularWorkload(
+            "hashprobe",
+            workloads.build_hashprobe,
+            "open-addressing probes into a 160 KB hash table",
+            "variable probe-chain lengths over a scattered table",
+        ),
+    ]
+}
+
+
+def get_irregular(name: str) -> IrregularWorkload:
+    try:
+        return IRREGULAR_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown irregular workload {name!r}; available: "
+            f"{', '.join(sorted(IRREGULAR_REGISTRY))}"
+        ) from None
+
+
+def all_irregular() -> list[IrregularWorkload]:
+    return list(IRREGULAR_REGISTRY.values())

@@ -1,0 +1,166 @@
+"""The irregular thread programs and their data generators.
+
+Each builder seeds its data with numpy, writes it into the emulator's
+global-memory image, and emulates a full launch.  Region layout follows
+the suite convention (16 MB-aligned arrays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.emulator import Program, Special, emulate_kernel
+from repro.emulator.ast import Var
+from repro.isa.kernel import KernelTrace
+from repro.kernels.base import region, require_scale
+
+SEED = 20120615
+
+_IN, _OUT, _TABLE, _AUX, _X = (
+    region(8),
+    region(9),
+    region(10),
+    region(11),
+    region(12),
+)
+
+
+def _image_from_arrays(arrays: dict[int, np.ndarray]):
+    """Global-init callable backed by seeded numpy arrays."""
+    lookup = {}
+    for base, arr in arrays.items():
+        a = np.ascontiguousarray(arr, dtype=np.int64)
+        lookup[base] = a
+
+    def init(addr: int) -> int:
+        for base, a in lookup.items():
+            off = addr - base
+            if 0 <= off < 4 * len(a):
+                return int(a[off // 4]) & 0xFFFFFFFF
+        return (addr * 2654435761 >> 7) & 0xFFFFFFFF
+
+    return init
+
+
+# ---------------------------------------------------------------------------
+# collatz: per-thread iteration count (pure divergence stress)
+# ---------------------------------------------------------------------------
+def build_collatz(scale: str = "small") -> KernelTrace:
+    require_scale(scale)
+    ctas = {"tiny": 2, "small": 8, "paper": 64}[scale]
+    p = Program()
+    g = Special("gtid")
+    seed = p.load_global(g * 4 + _IN, name="n")
+    p.assign(seed % 89 + 2, name="n")
+    p.assign(seed * 0, name="steps")
+    with p.while_(Var("n").gt(1), max_iterations=400):
+        with p.if_((Var("n") % 2).eq(0)):
+            p.assign(Var("n") // 2, name="n")
+        with p.else_():
+            p.assign(Var("n") * 3 + 1, name="n")
+        p.assign(Var("steps") + 1, name="steps")
+    p.store_global(g * 4 + _OUT, Var("steps"))
+    return emulate_kernel(p, name="collatz", threads_per_cta=128, num_ctas=ctas)
+
+
+# ---------------------------------------------------------------------------
+# binsearch: batched binary search over a sorted table
+# ---------------------------------------------------------------------------
+def build_binsearch(scale: str = "small") -> KernelTrace:
+    require_scale(scale)
+    ctas, table_len = {
+        "tiny": (2, 1 << 10),
+        "small": (8, 48 << 10),  # 192 KB sorted table
+        "paper": (64, 1 << 20),
+    }[scale]
+    rng = np.random.default_rng(SEED)
+    table = np.sort(rng.integers(0, 1 << 30, size=table_len))
+    queries = rng.integers(0, 1 << 30, size=ctas * 128)
+    init = _image_from_arrays({_TABLE: table, _IN: queries})
+
+    p = Program()
+    g = Special("gtid")
+    q = p.load_global(g * 4 + _IN, name="q")
+    p.assign(q * 0, name="lo")
+    p.assign(q * 0 + table_len, name="hi")
+    with p.while_(Var("lo").lt(Var("hi")), max_iterations=64):
+        p.assign((Var("lo") + Var("hi")) // 2, name="mid")
+        mid_val = p.load_global(Var("mid") * 4 + _TABLE, name="mv")
+        with p.if_(mid_val.lt(Var("q"))):
+            p.assign(Var("mid") + 1, name="lo")
+        with p.else_():
+            p.assign(Var("mid") + 0, name="hi")
+    p.store_global(g * 4 + _OUT, Var("lo"))
+    return emulate_kernel(
+        p, name="binsearch", threads_per_cta=128, num_ctas=ctas, global_init=init
+    )
+
+
+# ---------------------------------------------------------------------------
+# spmv: CSR sparse matrix-vector product, one thread per row
+# ---------------------------------------------------------------------------
+def build_spmv(scale: str = "small") -> KernelTrace:
+    require_scale(scale)
+    rows, cols, avg_nnz = {
+        "tiny": (256, 1024, 4),
+        "small": (2048, 24 << 10, 6),  # x vector: 96 KB
+        "paper": (1 << 16, 1 << 20, 8),
+    }[scale]
+    rng = np.random.default_rng(SEED + 1)
+    nnz_per_row = rng.poisson(avg_nnz, size=rows).clip(1, 4 * avg_nnz)
+    offsets = np.zeros(rows + 1, dtype=np.int64)
+    np.cumsum(nnz_per_row, out=offsets[1:])
+    col_idx = rng.integers(0, cols, size=int(offsets[-1]))
+    init = _image_from_arrays({_IN: offsets, _TABLE: col_idx})
+
+    p = Program()
+    g = Special("gtid")
+    start = p.load_global(g * 4 + _IN, name="k")
+    end = p.load_global(g * 4 + 4 + _IN, name="end")
+    p.assign(start * 0, name="acc")
+    with p.while_(Var("k").lt(Var("end")), max_iterations=64):
+        col = p.load_global(Var("k") * 4 + _TABLE, name="col")
+        aval = p.load_global(Var("k") * 4 + _AUX, name="aval")  # A values
+        xval = p.load_global(col * 4 + _X, name="xval")  # dense x vector
+        p.assign(Var("acc") + aval * xval, name="acc")
+        p.assign(Var("k") + 1, name="k")
+    p.store_global(g * 4 + _OUT, Var("acc"))
+    return emulate_kernel(
+        p, name="spmv", threads_per_cta=128, num_ctas=rows // 128, global_init=init
+    )
+
+
+# ---------------------------------------------------------------------------
+# hashprobe: open-addressing probe chains
+# ---------------------------------------------------------------------------
+def build_hashprobe(scale: str = "small") -> KernelTrace:
+    require_scale(scale)
+    ctas, buckets = {
+        "tiny": (2, 1 << 12),
+        "small": (8, 40 << 10),  # 160 KB table
+        "paper": (64, 1 << 20),
+    }[scale]
+    rng = np.random.default_rng(SEED + 2)
+    # ~70% occupied table: nonzero marks an occupied bucket whose key is
+    # usually not the probe key, forcing multi-step chains.
+    table = np.where(rng.random(buckets) < 0.7, rng.integers(1, 1 << 30, size=buckets), 0)
+    keys = rng.integers(1, 1 << 30, size=ctas * 128)
+    init = _image_from_arrays({_TABLE: table, _IN: keys})
+
+    p = Program()
+    g = Special("gtid")
+    key = p.load_global(g * 4 + _IN, name="key")
+    p.assign((key * 2654435761) % buckets, name="slot")
+    p.assign(key * 0, name="probes")
+    p.assign(key * 0 + 1, name="searching")
+    with p.while_(Var("searching").gt(0), max_iterations=48):
+        entry = p.load_global(Var("slot") * 4 + _TABLE, name="entry")
+        with p.if_(entry.eq(0) | entry.eq(Var("key"))):
+            p.assign(Var("searching") * 0, name="searching")
+        with p.else_():
+            p.assign((Var("slot") + 1) % buckets, name="slot")
+            p.assign(Var("probes") + 1, name="probes")
+    p.store_global(g * 4 + _OUT, Var("probes"))
+    return emulate_kernel(
+        p, name="hashprobe", threads_per_cta=128, num_ctas=ctas, global_init=init
+    )

@@ -1,0 +1,284 @@
+"""Benchmark registry: the Table 1 suite with its published metadata.
+
+Each entry couples a trace builder with the paper's published
+characteristics so experiments can compare measured values against the
+paper (see EXPERIMENTS.md).  ``paper_dram`` holds the normalized DRAM
+access columns of Table 1 (0 KB, 64 KB; the 256 KB point is the
+normalisation base of 1.0).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.isa.kernel import KernelTrace
+from repro.kernels import (
+    aes,
+    backprop,
+    bfs,
+    bicubictexture,
+    dct8x8,
+    dgemm,
+    dwthaar1d,
+    hotspot,
+    hwt,
+    lps,
+    lu,
+    matrixmul,
+    mummer,
+    nbody,
+    needle,
+    nn,
+    pcr,
+    ray,
+    recursivegaussian,
+    sad,
+    scalarprod,
+    sgemv,
+    sobolqrng,
+    srad,
+    sto,
+    vectoradd,
+)
+
+
+class Category(enum.Enum):
+    """Table 1 groupings."""
+
+    SHARED_LIMITED = "shared memory limited"
+    CACHE_LIMITED = "cache limited"
+    REGISTER_LIMITED = "register limited"
+    BALANCED = "balanced / minimal capacity requirements"
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark: builder plus the paper's published facts."""
+
+    name: str
+    category: Category
+    build: Callable[..., KernelTrace]
+    paper_regs: int
+    paper_smem_bytes_per_thread: float
+    #: Normalised DRAM accesses at (no cache, 64 KB); 256 KB is 1.0.
+    paper_dram: tuple[float, float]
+    #: Unified 384 KB speedup over the partitioned baseline (Fig 9 /
+    #: Table 6); 1.0 for the no-benefit set (Fig 7: within 1%).
+    paper_speedup_384: float = 1.0
+    #: Table 6 performance at 128/256/384 KB (benefit set only).
+    paper_table6_perf: tuple[float, float, float] | None = None
+    #: Table 6 energy at 128/256/384 KB (benefit set only).
+    paper_table6_energy: tuple[float, float, float] | None = None
+    description: str = ""
+    extra_params: dict = field(default_factory=dict)
+
+    @property
+    def benefits(self) -> bool:
+        return self.paper_table6_perf is not None
+
+
+_ALL: list[Benchmark] = [
+    # ------------------------- shared memory limited -------------------
+    Benchmark(
+        "needle", Category.SHARED_LIMITED, needle.build,
+        paper_regs=18, paper_smem_bytes_per_thread=264.1,
+        paper_dram=(0.85, 1.0), paper_speedup_384=1.71,
+        paper_table6_perf=(1.29, 1.75, 1.71),
+        paper_table6_energy=(0.76, 0.64, 0.67),
+        description="Needleman-Wunsch DP sequence alignment",
+    ),
+    Benchmark(
+        "sto", Category.SHARED_LIMITED, sto.build,
+        paper_regs=33, paper_smem_bytes_per_thread=127,
+        paper_dram=(3.95, 1.0),
+        description="StoreGPU sliding-window hashing in shared memory",
+    ),
+    Benchmark(
+        "lu", Category.SHARED_LIMITED, lu.build,
+        paper_regs=20, paper_smem_bytes_per_thread=96,
+        paper_dram=(1.94, 1.46), paper_speedup_384=1.07,
+        paper_table6_perf=(0.96, 1.07, 1.07),
+        paper_table6_energy=(1.00, 0.91, 0.89),
+        description="blocked LU decomposition",
+    ),
+    # ----------------------------- cache limited -----------------------
+    Benchmark(
+        "gpu-mummer", Category.CACHE_LIMITED, mummer.build,
+        paper_regs=21, paper_smem_bytes_per_thread=0,
+        paper_dram=(1.48, 1.01), paper_speedup_384=1.04,
+        paper_table6_perf=(0.96, 1.04, 1.04),
+        paper_table6_energy=(0.97, 0.95, 0.97),
+        description="suffix-tree DNA alignment",
+    ),
+    Benchmark(
+        "bfs", Category.CACHE_LIMITED, bfs.build,
+        paper_regs=9, paper_smem_bytes_per_thread=0,
+        paper_dram=(1.46, 1.13), paper_speedup_384=1.12,
+        paper_table6_perf=(1.03, 1.08, 1.12),
+        paper_table6_energy=(0.91, 0.89, 0.88),
+        description="breadth-first graph search",
+    ),
+    Benchmark(
+        "backprop", Category.CACHE_LIMITED, backprop.build,
+        paper_regs=17, paper_smem_bytes_per_thread=2.125,
+        paper_dram=(1.56, 1.0),
+        description="neural-network layer training",
+    ),
+    Benchmark(
+        "matrixmul", Category.CACHE_LIMITED, matrixmul.build,
+        paper_regs=17, paper_smem_bytes_per_thread=8,
+        paper_dram=(4.77, 1.0),
+        description="shared-memory tiled matrix multiply",
+    ),
+    Benchmark(
+        "nbody", Category.CACHE_LIMITED, nbody.build,
+        paper_regs=23, paper_smem_bytes_per_thread=0,
+        paper_dram=(3.52, 1.0),
+        description="all-pairs gravitational interaction",
+    ),
+    Benchmark(
+        "vectoradd", Category.CACHE_LIMITED, vectoradd.build,
+        paper_regs=9, paper_smem_bytes_per_thread=0,
+        paper_dram=(3.88, 1.0),
+        description="element-wise vector addition",
+    ),
+    Benchmark(
+        "srad", Category.CACHE_LIMITED, srad.build,
+        paper_regs=18, paper_smem_bytes_per_thread=24,
+        paper_dram=(1.22, 1.20), paper_speedup_384=1.09,
+        paper_table6_perf=(1.00, 1.08, 1.09),
+        paper_table6_energy=(0.94, 0.86, 0.89),
+        description="speckle-reducing anisotropic diffusion",
+    ),
+    # --------------------------- register limited ----------------------
+    Benchmark(
+        "dgemm", Category.REGISTER_LIMITED, dgemm.build,
+        paper_regs=57, paper_smem_bytes_per_thread=66.5,
+        paper_dram=(1.0, 1.0), paper_speedup_384=1.08,
+        paper_table6_perf=(0.77, 1.01, 1.08),
+        paper_table6_energy=(1.13, 0.95, 0.94),
+        description="register-blocked double-precision GEMM (MAGMA)",
+    ),
+    Benchmark(
+        "pcr", Category.REGISTER_LIMITED, pcr.build,
+        paper_regs=33, paper_smem_bytes_per_thread=20,
+        paper_dram=(2.88, 1.29), paper_speedup_384=1.06,
+        paper_table6_perf=(0.77, 1.04, 1.06),
+        paper_table6_energy=(1.33, 0.92, 0.93),
+        description="parallel cyclic reduction tridiagonal solver",
+    ),
+    Benchmark(
+        "bicubictexture", Category.REGISTER_LIMITED, bicubictexture.build,
+        paper_regs=33, paper_smem_bytes_per_thread=0,
+        paper_dram=(1.0, 1.0),
+        description="bicubic texture filtering",
+    ),
+    Benchmark(
+        "hwt", Category.REGISTER_LIMITED, hwt.build,
+        paper_regs=35, paper_smem_bytes_per_thread=23,
+        paper_dram=(1.0, 1.0),
+        description="2D Haar wavelet transform",
+    ),
+    Benchmark(
+        "ray", Category.REGISTER_LIMITED, ray.build,
+        paper_regs=42, paper_smem_bytes_per_thread=0,
+        paper_dram=(1.02, 1.07), paper_speedup_384=1.13,
+        paper_table6_perf=(0.94, 1.03, 1.13),
+        paper_table6_energy=(1.01, 0.95, 0.89),
+        description="recursive ray tracing",
+    ),
+    # ------------------------------- balanced --------------------------
+    Benchmark(
+        "hotspot", Category.BALANCED, hotspot.build,
+        paper_regs=22, paper_smem_bytes_per_thread=12,
+        paper_dram=(1.44, 1.0),
+        description="thermal simulation stencil",
+    ),
+    Benchmark(
+        "recursivegaussian", Category.BALANCED, recursivegaussian.build,
+        paper_regs=23, paper_smem_bytes_per_thread=2.125,
+        paper_dram=(1.04, 1.03),
+        description="recursive Gaussian blur",
+    ),
+    Benchmark(
+        "sad", Category.BALANCED, sad.build,
+        paper_regs=31, paper_smem_bytes_per_thread=0,
+        paper_dram=(1.01, 1.01),
+        description="sum-of-absolute-differences block matching",
+    ),
+    Benchmark(
+        "scalarprod", Category.BALANCED, scalarprod.build,
+        paper_regs=18, paper_smem_bytes_per_thread=16,
+        paper_dram=(1.0, 1.0),
+        description="batched dot products",
+    ),
+    Benchmark(
+        "sgemv", Category.BALANCED, sgemv.build,
+        paper_regs=14, paper_smem_bytes_per_thread=4,
+        paper_dram=(1.01, 1.01),
+        description="matrix-vector product",
+    ),
+    Benchmark(
+        "sobolqrng", Category.BALANCED, sobolqrng.build,
+        paper_regs=12, paper_smem_bytes_per_thread=2,
+        paper_dram=(1.0, 1.0),
+        description="Sobol quasi-random number generation",
+    ),
+    Benchmark(
+        "aes", Category.BALANCED, aes.build,
+        paper_regs=28, paper_smem_bytes_per_thread=24,
+        paper_dram=(1.0, 1.0),
+        description="AES block cipher with shared-memory T-boxes",
+    ),
+    Benchmark(
+        "dct8x8", Category.BALANCED, dct8x8.build,
+        paper_regs=26, paper_smem_bytes_per_thread=0,
+        paper_dram=(1.0, 1.0),
+        description="8x8 discrete cosine transform",
+    ),
+    Benchmark(
+        "dwthaar1d", Category.BALANCED, dwthaar1d.build,
+        paper_regs=14, paper_smem_bytes_per_thread=8,
+        paper_dram=(1.0, 1.0),
+        description="1D Haar wavelet transform",
+    ),
+    Benchmark(
+        "lps", Category.BALANCED, lps.build,
+        paper_regs=15, paper_smem_bytes_per_thread=19,
+        paper_dram=(1.48, 1.0),
+        description="3D Laplace solver",
+    ),
+    Benchmark(
+        "nn", Category.BALANCED, nn.build,
+        paper_regs=13, paper_smem_bytes_per_thread=0,
+        paper_dram=(20.81, 1.07),
+        description="small neural-network inference",
+    ),
+]
+
+REGISTRY: dict[str, Benchmark] = {bm.name: bm for bm in _ALL}
+
+#: Figure 9 benchmarks: significant gains from the unified design.
+BENEFIT_SET: tuple[str, ...] = tuple(bm.name for bm in _ALL if bm.benefits)
+
+#: Figure 7 benchmarks: no benefit, overhead must stay under ~1%.
+NO_BENEFIT_SET: tuple[str, ...] = tuple(bm.name for bm in _ALL if not bm.benefits)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(sorted(REGISTRY))}"
+        ) from None
+
+
+def all_benchmarks() -> list[Benchmark]:
+    return list(_ALL)
+
+
+def benchmarks_in(category: Category) -> list[Benchmark]:
+    return [bm for bm in _ALL if bm.category is category]

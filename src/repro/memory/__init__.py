@@ -1,0 +1,46 @@
+"""Memory-subsystem models: banks, cache, scratchpad, DRAM, coalescing.
+
+These substrates implement the Section 2.1 / 4.2 memory organisation that
+both the partitioned baseline and the unified design share:
+
+* :mod:`repro.memory.coalescer` -- merges a warp's per-thread addresses
+  into 128-byte line segments (global/local space) and 32-byte DRAM
+  sectors.
+* :mod:`repro.memory.cache` -- the 4-way, write-through, no-write-
+  allocate primary data cache with one tag lookup per cycle.
+* :mod:`repro.memory.dram` -- a single SM's share of DRAM: 8 bytes/cycle
+  of bandwidth, 400 cycles latency, access counting (the paper's DRAM
+  traffic metric).
+* :mod:`repro.memory.sharedmem` -- per-CTA scratchpad allocation.
+* :mod:`repro.memory.banks` -- the bank-conflict models: per-structure
+  banks for the partitioned design, merged banks with arbitration
+  conflicts for the unified design (Sections 4.2-4.3, Table 5).
+"""
+
+from repro.memory.banks import (
+    BankAccess,
+    ClusterPortUnifiedBanks,
+    ConflictHistogram,
+    PartitionedBanks,
+    UnifiedBanks,
+    make_bank_model,
+)
+from repro.memory.cache import CacheStats, DataCache
+from repro.memory.coalescer import coalesce_lines, coalesce_sectors
+from repro.memory.dram import DRAMChannel
+from repro.memory.sharedmem import SharedMemoryFile
+
+__all__ = [
+    "BankAccess",
+    "CacheStats",
+    "ClusterPortUnifiedBanks",
+    "ConflictHistogram",
+    "DRAMChannel",
+    "DataCache",
+    "PartitionedBanks",
+    "SharedMemoryFile",
+    "UnifiedBanks",
+    "coalesce_lines",
+    "coalesce_sectors",
+    "make_bank_model",
+]

@@ -1,0 +1,131 @@
+"""Primary data cache model.
+
+Matches the paper's cache (Sections 2.1, 4.3, Table 2): set-associative
+(4-way), 128-byte lines, LRU replacement, **write-through with
+no-write-allocate** -- the unified design depends on the write-through
+policy because repartitioning then never has dirty data to flush
+(Section 4.4), and evictions never cost a bank access (Section 4.3).
+
+Capacity is arbitrary (the unified allocator can produce any remainder);
+the number of sets is ``capacity // (line * assoc)`` and may be zero, in
+which case every access misses -- this models the "0 KB cache" column of
+Table 1.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss counters of one simulation."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+
+    @property
+    def reads(self) -> int:
+        return self.read_hits + self.read_misses
+
+    @property
+    def writes(self) -> int:
+        return self.write_hits + self.write_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def hit_rate(self) -> float:
+        return (self.read_hits + self.write_hits) / self.accesses if self.accesses else 0.0
+
+    @property
+    def read_hit_rate(self) -> float:
+        return self.read_hits / self.reads if self.reads else 0.0
+
+
+class DataCache:
+    """4-way write-through, no-write-allocate, LRU data cache."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        assoc: int = 4,
+        line_bytes: int = 128,
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        if assoc <= 0 or line_bytes <= 0:
+            raise ValueError("assoc and line_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = capacity_bytes // (line_bytes * assoc)
+        # One LRU-ordered dict of tags per set; OrderedDict front = LRU.
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    @property
+    def enabled(self) -> bool:
+        return self.num_sets > 0
+
+    def _locate(self, line_addr: int) -> tuple[OrderedDict, int]:
+        line_index = line_addr // self.line_bytes
+        s = self._sets[line_index % self.num_sets]
+        return s, line_index
+
+    def read_line(self, line_addr: int) -> bool:
+        """Read one aligned line; returns True on hit, allocates on miss."""
+        if not self.enabled:
+            self.stats.read_misses += 1
+            return False
+        s, tag = self._locate(line_addr)
+        if tag in s:
+            s.move_to_end(tag)
+            self.stats.read_hits += 1
+            return True
+        self.stats.read_misses += 1
+        if len(s) >= self.assoc:
+            s.popitem(last=False)  # LRU eviction; lines are clean (write-through)
+        s[tag] = None
+        return False
+
+    def write_line(self, line_addr: int) -> bool:
+        """Write through one aligned line; returns True if it hit.
+
+        No-write-allocate: a write miss does not install the line.  The
+        caller is responsible for sending the written bytes to DRAM in
+        either case.
+        """
+        if not self.enabled:
+            self.stats.write_misses += 1
+            return False
+        s, tag = self._locate(line_addr)
+        if tag in s:
+            s.move_to_end(tag)
+            self.stats.write_hits += 1
+            return True
+        self.stats.write_misses += 1
+        return False
+
+    def contains(self, line_addr: int) -> bool:
+        """Non-mutating presence probe (testing/diagnostics)."""
+        if not self.enabled:
+            return False
+        s, tag = self._locate(line_addr)
+        return tag in s
+
+    def flush(self) -> None:
+        """Invalidate all lines (repartitioning between kernels, §4.4)."""
+        for s in self._sets:
+            s.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,74 @@
+"""DRAM channel model: one SM's share of chip bandwidth.
+
+The paper's methodology (Section 5.1) simulates a single SM and gives it
+8 bytes/cycle of DRAM bandwidth (1/32 of the chip's 256 bytes/cycle)
+with a 400-cycle access latency (Table 2).  The model is a simple
+bandwidth-reserving queue: each request serialises on the channel at
+8 bytes/cycle and completes ``latency`` cycles after its data starts
+transferring.  Requests must be issued in non-decreasing time order,
+which the event-driven SM simulator guarantees.
+
+The channel counts one DRAM *access* per request (a 128-byte line fill
+is one access; an uncached 32-byte sector read is one access) -- this is
+the metric behind Table 1 columns 10-12, where streaming benchmarks show
+~4x more accesses with no cache because each warp load becomes four
+sector transactions instead of one line fill.  Total bytes are tracked
+separately for the 40 pJ/bit energy model.
+"""
+
+from __future__ import annotations
+
+
+class DRAMChannel:
+    """Latency + bandwidth + traffic accounting for one SM's DRAM share."""
+
+    def __init__(
+        self,
+        bytes_per_cycle: float = 8.0,
+        latency: int = 400,
+        transaction_bytes: int = 32,
+    ) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if transaction_bytes <= 0:
+            raise ValueError("transaction_bytes must be positive")
+        self.bytes_per_cycle = bytes_per_cycle
+        self.latency = latency
+        self.transaction_bytes = transaction_bytes
+        self.free_at = 0.0
+        self.accesses = 0
+        self.bytes_transferred = 0
+        self._last_request_time = 0.0
+
+    def request(self, now: float, nbytes: int) -> float:
+        """Issue a transfer of ``nbytes`` at time ``now``.
+
+        Returns the cycle at which the data is available to the SM
+        (reads) -- stores may ignore the return value but still consume
+        bandwidth.
+        """
+        if now < self._last_request_time:
+            raise ValueError(
+                f"requests must be time-ordered: {now} after {self._last_request_time}"
+            )
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        self._last_request_time = now
+        start = max(now, self.free_at)
+        service = nbytes / self.bytes_per_cycle
+        self.free_at = start + service
+        self.accesses += 1
+        self.bytes_transferred += nbytes
+        return start + self.latency + service
+
+    @property
+    def bits_transferred(self) -> int:
+        return 8 * self.bytes_transferred
+
+    def utilisation(self, total_cycles: float) -> float:
+        """Fraction of cycles the channel was transferring data."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, (self.bytes_transferred / self.bytes_per_cycle) / total_cycles)

@@ -1,0 +1,74 @@
+"""Shared-memory (scratchpad) allocation for resident CTAs.
+
+Shared memory is allocated per CTA at launch and freed when the CTA
+retires (Section 2: "threads in the same CTA ... can communicate through
+shared memory").  The trace generators emit CTA-relative shared
+addresses; the CTA scheduler rebases them with the allocation offset
+handed out here so that co-resident CTAs never alias.
+
+A simple first-fit free-list allocator is sufficient: allocations are
+uniform per kernel, so fragmentation cannot occur in practice, but the
+allocator stays correct for mixed sizes too.
+"""
+
+from __future__ import annotations
+
+
+class SharedMemoryFile:
+    """First-fit allocator over the SM's shared-memory capacity."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        # Sorted, disjoint, non-adjacent free extents (offset, size).
+        self._free: list[tuple[int, int]] = (
+            [(0, capacity_bytes)] if capacity_bytes else []
+        )
+        self._live: dict[int, int] = {}  # base offset -> size
+
+    @property
+    def bytes_in_use(self) -> int:
+        return sum(self._live.values())
+
+    @property
+    def bytes_free(self) -> int:
+        return self.capacity_bytes - self.bytes_in_use
+
+    def alloc(self, nbytes: int) -> int | None:
+        """Reserve ``nbytes``; returns the base offset or None if full.
+
+        Zero-byte allocations succeed at offset 0 without reserving
+        space (kernels that use no shared memory).
+        """
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if nbytes == 0:
+            return 0
+        for i, (off, size) in enumerate(self._free):
+            if size >= nbytes:
+                if size == nbytes:
+                    del self._free[i]
+                else:
+                    self._free[i] = (off + nbytes, size - nbytes)
+                self._live[off] = nbytes
+                return off
+        return None
+
+    def free(self, base: int) -> None:
+        """Release an allocation and coalesce adjacent free extents.
+
+        Zero-byte allocations reserve nothing and must not be freed.
+        """
+        size = self._live.pop(base, None)
+        if size is None:
+            raise KeyError(f"no live allocation at offset {base}")
+        self._free.append((base, size))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for off, sz in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == off:
+                merged[-1] = (merged[-1][0], merged[-1][1] + sz)
+            else:
+                merged.append((off, sz))
+        self._free = merged

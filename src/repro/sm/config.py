@@ -1,0 +1,61 @@
+"""SM simulation parameters (paper Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partition import MAX_THREADS
+
+
+@dataclass(frozen=True, slots=True)
+class SMConfig:
+    """Latency and bandwidth parameters of one SM.
+
+    Defaults reproduce Table 2 of the paper.  ``cache_hit_latency`` is
+    not listed there; we use the shared-memory latency, as both paths go
+    through the same crossbar and banks.
+    """
+
+    alu_latency: int = 8
+    sfu_latency: int = 20
+    shared_latency: int = 20
+    cache_hit_latency: int = 20
+    tex_latency: int = 400
+    dram_latency: int = 400
+    dram_bytes_per_cycle: float = 8.0
+    dram_transaction_bytes: int = 32
+    cache_assoc: int = 4
+    cache_line_bytes: int = 128
+    max_threads: int = MAX_THREADS
+    #: Cycles between the last warp arriving at a CTA barrier and the
+    #: released warps issuing again: pipeline drain plus the two-level
+    #: scheduler moving the warps back into the active set (ref [8]).
+    barrier_latency: int = 72
+    #: Optional runtime model of the two-level warp scheduler (ref [8]):
+    #: a warp stalling longer than ``deschedule_threshold`` cycles is
+    #: moved to the inactive set and pays ``deschedule_latency`` extra
+    #: cycles on reactivation.  Default 0 = the prior work's finding
+    #: that swapping costs no performance; raise it to stress-test that
+    #: claim (see ``ablations`` and the two-level scheduler tests).
+    deschedule_latency: int = 0
+    deschedule_threshold: int = 40
+    #: Enforce the strict one-bank-per-cluster crossbar port of the
+    #: Section 4.2 "simple design" (ablation; the default follows the
+    #: paper's Section 6.1 per-bank conflict model).
+    cluster_port_banks: bool = False
+
+    def __post_init__(self) -> None:
+        for name in (
+            "alu_latency",
+            "sfu_latency",
+            "shared_latency",
+            "cache_hit_latency",
+            "tex_latency",
+            "dram_latency",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.dram_bytes_per_cycle <= 0:
+            raise ValueError("dram_bytes_per_cycle must be positive")
+        if self.max_threads <= 0 or self.max_threads % 32:
+            raise ValueError("max_threads must be a positive multiple of 32")

@@ -1,0 +1,93 @@
+"""Simulation outputs: timing, traffic, and energy-relevant counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.partition import MemoryPartition
+from repro.memory.banks import ConflictHistogram
+from repro.memory.cache import CacheStats
+
+
+@dataclass(slots=True)
+class EnergyCounts:
+    """Event counts the energy model prices (Section 5.2)."""
+
+    mrf_reads: int = 0
+    mrf_writes: int = 0
+    orf_reads: int = 0
+    orf_writes: int = 0
+    lrf_reads: int = 0
+    lrf_writes: int = 0
+    shared_row_reads: int = 0
+    shared_row_writes: int = 0
+    cache_row_reads: int = 0
+    cache_row_writes: int = 0
+    tag_lookups: int = 0
+    dram_bits: int = 0
+
+    @property
+    def mrf_accesses(self) -> int:
+        return self.mrf_reads + self.mrf_writes
+
+    @property
+    def shared_rows(self) -> int:
+        return self.shared_row_reads + self.shared_row_writes
+
+    @property
+    def cache_rows(self) -> int:
+        return self.cache_row_reads + self.cache_row_writes
+
+
+@dataclass(slots=True)
+class SimResult:
+    """Outcome of simulating one kernel launch under one partition."""
+
+    kernel: str
+    partition: MemoryPartition
+    cycles: float
+    instructions: int
+    resident_ctas: int
+    resident_threads: int
+    regs_per_thread: int
+    bank_conflict_cycles: int
+    conflict_histogram: ConflictHistogram
+    cache_stats: CacheStats
+    dram_accesses: int
+    dram_bytes: int
+    energy_counts: EnergyCounts
+    limiting_resource: str = ""
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Performance relative to a baseline run of the same kernel.
+
+        Both runs execute the same total work (the full launch), so the
+        cycle ratio is the speedup.
+        """
+        if self.kernel != baseline.kernel:
+            raise ValueError(
+                f"cannot compare runs of different kernels: "
+                f"{self.kernel!r} vs {baseline.kernel!r}"
+            )
+        if self.cycles <= 0:
+            raise ValueError("run has no cycles")
+        return baseline.cycles / self.cycles
+
+    def dram_traffic_ratio(self, baseline: "SimResult") -> float:
+        if baseline.dram_accesses == 0:
+            return 1.0 if self.dram_accesses == 0 else float("inf")
+        return self.dram_accesses / baseline.dram_accesses
+
+    def summary(self) -> str:
+        return (
+            f"{self.kernel}: {self.cycles:.0f} cycles, IPC {self.ipc:.3f}, "
+            f"{self.resident_threads} threads, "
+            f"{self.dram_accesses} DRAM accesses, "
+            f"{self.bank_conflict_cycles} conflict cycles "
+            f"[{self.partition.describe()}]"
+        )

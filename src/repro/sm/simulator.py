@@ -1,0 +1,293 @@
+"""Event-driven single-SM timing simulation.
+
+See the package docstring (:mod:`repro.sm`) for the modelling contract.
+The main loop pops the earliest-ready warp from a heap, serialises it on
+the single issue port, resolves its instruction against the bank model /
+cache / DRAM, and schedules the warp's next readiness.  Each warp
+instruction is visited exactly once, so runtime is
+``O(total_ops * log(resident_warps))``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.compiler.compiled import CompiledKernel, CompiledOp, CompiledWarp
+from repro.core.partition import MemoryPartition
+from repro.isa.opcodes import MemSpace, OpClass
+from repro.memory.banks import make_bank_model
+from repro.memory.cache import DataCache
+from repro.memory.coalescer import coalesce_lines, coalesce_sectors
+from repro.memory.dram import DRAMChannel
+from repro.sm.config import SMConfig
+from repro.sm.cta_scheduler import CTAScheduler, LaunchError, ResidentCTA
+from repro.sm.result import EnergyCounts, SimResult
+
+
+class SimulationError(RuntimeError):
+    """The simulation reached an inconsistent state (internal bug guard)."""
+
+
+@dataclass(slots=True)
+class _WarpState:
+    ops: list[CompiledOp]
+    cta: ResidentCTA
+    pc: int = 0
+    #: Architectural register -> cycle its pending write completes.
+    pending: dict[int, float] = field(default_factory=dict)
+
+    def next_ready(self, now: float) -> float:
+        """Earliest cycle the next instruction's operands are available."""
+        op = self.ops[self.pc]
+        ready = now
+        pending = self.pending
+        if pending:
+            # RAW hazards only: writes drain in program order through the
+            # in-order pipeline, so WAW to a recycled register is safe.
+            for r in op.srcs:
+                t = pending.get(r)
+                if t is not None and t > ready:
+                    ready = t
+        return ready
+
+
+def simulate(
+    kernel: CompiledKernel,
+    partition: MemoryPartition,
+    config: SMConfig | None = None,
+    thread_target: int | None = None,
+) -> SimResult:
+    """Run one kernel launch to completion under a memory partition.
+
+    Args:
+        kernel: Compiled kernel (see :func:`repro.compiler.compile_kernel`).
+        partition: Memory split to simulate (baseline, Fermi-like, or
+            unified).
+        config: SM latencies/bandwidth; defaults to Table 2 values.
+        thread_target: Optional cap on resident threads (the paper's
+            256..1024 sweeps); ``None`` lets occupancy decide.
+
+    Returns:
+        A :class:`~repro.sm.result.SimResult` with cycles, DRAM traffic,
+        bank-conflict statistics, and energy-relevant event counts.
+
+    Raises:
+        repro.sm.cta_scheduler.LaunchError: If no CTA fits the partition.
+    """
+    cfg = config or SMConfig()
+    scheduler = CTAScheduler(kernel, partition, thread_target)
+    banks = make_bank_model(partition, cluster_port=cfg.cluster_port_banks)
+    cache = DataCache(
+        partition.cache_bytes, assoc=cfg.cache_assoc, line_bytes=cfg.cache_line_bytes
+    )
+    dram = DRAMChannel(
+        bytes_per_cycle=cfg.dram_bytes_per_cycle,
+        latency=cfg.dram_latency,
+        transaction_bytes=cfg.dram_transaction_bytes,
+    )
+    counts = EnergyCounts()
+
+    # Event heap of (ready_cycle, seq, warp); seq keeps FIFO order among ties.
+    heap: list[tuple[float, int, _WarpState]] = []
+    seq = 0  # also advanced inline by the deschedule path below
+
+    def push(w: _WarpState, now: float) -> None:
+        nonlocal seq
+        heapq.heappush(heap, (w.next_ready(now), seq, w))
+        seq += 1
+
+    def spawn_cta(now: float) -> bool:
+        resident = scheduler.launch_next()
+        if resident is None:
+            return False
+        for cw in resident.cta.warps:
+            push(_WarpState(ops=cw.ops, cta=resident), now)
+        return True
+
+    live_ctas = 0
+    for _ in range(scheduler.max_concurrent):
+        if spawn_cta(0.0):
+            live_ctas += 1
+
+    issued_until = 0.0
+    # The shared-memory / cache pipeline: bank-conflicted accesses
+    # serialise here without blocking instruction issue for other warps
+    # (register-bank conflicts, by contrast, stall operand fetch and
+    # therefore the issue port itself).
+    mem_port_free = 0.0
+    instructions = 0
+    conflict_cycles = 0
+    line_bytes = cfg.cache_line_bytes
+
+    latency_of = {
+        OpClass.ALU: cfg.alu_latency,
+        OpClass.SFU: cfg.sfu_latency,
+        OpClass.TEX: cfg.tex_latency,
+        OpClass.LOAD_SHARED: cfg.shared_latency,
+        OpClass.STORE_SHARED: cfg.shared_latency,
+    }
+
+    while heap:
+        ready, _, w = heapq.heappop(heap)
+        t = ready if ready > issued_until else issued_until
+        op = w.ops[w.pc]
+        instructions += 1
+
+        # ---- barriers -------------------------------------------------
+        if op.op is OpClass.BARRIER:
+            cta = w.cta
+            cta.barrier_count += 1
+            w.pc += 1
+            issued_until = t + 1
+            if cta.barrier_count == cta.warps_outstanding:
+                cta.barrier_count = 0
+                waiting = cta.waiting_warps
+                cta.waiting_warps = []
+                release = t + 1 + cfg.barrier_latency
+                for other in (*waiting, w):
+                    if other.pc < len(other.ops):
+                        push(other, release)
+                    else:
+                        cta.warps_outstanding -= 1
+                        # A warp whose last instruction is a barrier.
+                if cta.warps_outstanding == 0:
+                    scheduler.retire(cta)
+                    live_ctas -= 1
+                    if spawn_cta(release):
+                        live_ctas += 1
+            else:
+                cta.waiting_warps.append(w)
+            continue
+
+        # ---- memory resolution ----------------------------------------
+        space = op.op.space
+        completion = None
+        if space is None:
+            # ALU/SFU/TEX: register-bank conflicts stall operand fetch,
+            # and with it the issue port.
+            access = banks.access(op)
+            penalty = access.penalty
+            issue_done = t + 1 + penalty
+            completion = issue_done + latency_of[op.op]
+        else:
+            # Memory instructions issue in one cycle; bank conflicts
+            # serialise in the memory pipeline (other warps keep issuing).
+            issue_done = t + 1
+            if space is MemSpace.SHARED:
+                access = banks.access(op, shared_base=w.cta.shared_base)
+                if op.op.is_load:
+                    counts.shared_row_reads += access.data_row_accesses
+                else:
+                    counts.shared_row_writes += access.data_row_accesses
+                segments = None
+            else:
+                segments = coalesce_lines(op.addrs, line_bytes)
+                access = banks.access(op, segments=segments)
+                counts.tag_lookups += len(segments)
+            penalty = access.penalty
+            port_start = issue_done if issue_done > mem_port_free else mem_port_free
+            data_ready = port_start + penalty
+            mem_port_free = port_start + 1 + penalty
+            if space is MemSpace.SHARED:
+                completion = data_ready + cfg.shared_latency
+            elif op.op.is_load:
+                completion = data_ready
+                if cache.enabled:
+                    counts.cache_row_reads += access.data_row_accesses
+                    for seg in segments:
+                        if cache.read_line(seg):
+                            done = data_ready + cfg.cache_hit_latency
+                        else:
+                            done = dram.request(data_ready, line_bytes)
+                        if done > completion:
+                            completion = done
+                else:
+                    for _ in coalesce_sectors(op.addrs):
+                        done = dram.request(data_ready, cfg.dram_transaction_bytes)
+                        if done > completion:
+                            completion = done
+            else:  # store: write-through, no-allocate, fire-and-forget
+                sectors = coalesce_sectors(op.addrs)
+                if cache.enabled:
+                    counts.cache_row_writes += access.data_row_accesses
+                    for seg in segments:
+                        cache.write_line(seg)
+                    # With a cache in front, the memory controller
+                    # combines write-through traffic into per-line
+                    # bursts: one DRAM access per touched line.
+                    per_line: dict[int, int] = {}
+                    for sector in sectors:
+                        line = sector - sector % line_bytes
+                        per_line[line] = per_line.get(line, 0) + 1
+                    for nsect in per_line.values():
+                        dram.request(data_ready, nsect * cfg.dram_transaction_bytes)
+                else:
+                    for _ in sectors:
+                        dram.request(data_ready, cfg.dram_transaction_bytes)
+
+        # ---- register file traffic -------------------------------------
+        counts.mrf_reads += len(op.mrf_reads)
+        counts.mrf_writes += len(op.mrf_writes)
+        counts.orf_reads += op.orf_reads
+        counts.orf_writes += op.orf_writes
+        counts.lrf_reads += op.lrf_reads
+        counts.lrf_writes += op.lrf_writes
+
+        # ---- issue/penalty accounting -----------------------------------
+        conflict_cycles += penalty
+        issued_until = issue_done
+        if op.dst is not None:
+            if completion is None or completion < issue_done:
+                completion = issue_done  # a result is never early-forwarded
+            w.pending[op.dst] = completion
+
+        # ---- advance warp ------------------------------------------------
+        w.pc += 1
+        if w.pc < len(w.ops):
+            if cfg.deschedule_latency:
+                # Two-level scheduler runtime model (ref [8]): a warp
+                # stalling past the threshold is descheduled and pays a
+                # reactivation latency when its dependence resolves.
+                nxt = w.next_ready(issue_done)
+                if nxt - issue_done > cfg.deschedule_threshold:
+                    heapq.heappush(heap, (nxt + cfg.deschedule_latency, seq, w))
+                    seq += 1
+                    continue
+            push(w, issue_done)
+            continue
+        cta = w.cta
+        cta.warps_outstanding -= 1
+        if cta.warps_outstanding == 0:
+            if cta.waiting_warps:
+                raise SimulationError(
+                    f"CTA {cta.index} finished with warps still at a barrier"
+                )
+            scheduler.retire(cta)
+            live_ctas -= 1
+            if spawn_cta(issue_done):
+                live_ctas += 1
+
+    if scheduler.remaining:
+        raise SimulationError(f"{scheduler.remaining} CTAs were never launched")
+    if live_ctas:
+        raise SimulationError(f"{live_ctas} CTAs never finished")
+
+    counts.dram_bits = dram.bits_transferred
+    end = max(issued_until, mem_port_free, dram.free_at)
+    return SimResult(
+        kernel=kernel.name,
+        partition=partition,
+        cycles=end,
+        instructions=instructions,
+        resident_ctas=scheduler.max_concurrent,
+        resident_threads=scheduler.limits.resident_threads,
+        regs_per_thread=kernel.regs_per_thread,
+        bank_conflict_cycles=conflict_cycles,
+        conflict_histogram=banks.histogram,
+        cache_stats=cache.stats,
+        dram_accesses=dram.accesses,
+        dram_bytes=dram.bytes_transferred,
+        energy_counts=counts,
+        limiting_resource=scheduler.limits.limiting_resource,
+    )

@@ -1,0 +1,80 @@
+"""Tests for bank-aware register relabelling (ref [27] technique)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.bankassign import assign_banks, bank_conflict_weight, remap_shape
+from repro.compiler.rfhierarchy import OperandTags, tag_hierarchy
+from repro.isa import OpClass
+
+
+def _op(dst, *srcs):
+    return (OpClass.ALU, dst, tuple(srcs))
+
+
+def _tags_for(shape):
+    return tag_hierarchy(shape)
+
+
+class TestAssignment:
+    def test_conflicting_pair_split_across_banks(self):
+        # Registers 0 and 4 collide under the identity mapping (both
+        # bank 0); frequent co-reads must separate them.
+        shape = [_op(8, 0, 4) for _ in range(10)]
+        tags = [
+            OperandTags(mrf_reads=(0, 4)) for _ in shape
+        ]
+        mapping = assign_banks(shape, tags, num_regs=16)
+        assert mapping[0] % 4 != mapping[4] % 4
+
+    def test_mapping_is_bijection(self):
+        shape = [_op(i % 8, (i + 1) % 8, (i + 3) % 8) for i in range(30)]
+        tags = _tags_for(shape)
+        mapping = assign_banks(shape, tags, num_regs=8)
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_capacity_respected(self):
+        # 8 registers over 4 banks: at most ceil(8/4)=2 per bank.
+        shape = [_op(i, (i + 1) % 8) for i in range(8)]
+        tags = _tags_for(shape)
+        mapping = assign_banks(shape, tags, num_regs=8)
+        from collections import Counter
+
+        loads = Counter(v % 4 for v in mapping.values())
+        assert max(loads.values()) <= 2
+
+    def test_remap_preserves_structure(self):
+        shape = [_op(0), _op(1, 0), _op(2, 0, 1)]
+        tags = _tags_for(shape)
+        mapping = assign_banks(shape, tags, num_regs=4)
+        new_shape, new_tags = remap_shape(shape, tags, mapping)
+        assert len(new_shape) == len(shape)
+        for (op0, d0, s0), (op1, d1, s1) in zip(shape, new_shape):
+            assert op0 is op1
+            assert (d1 is None) == (d0 is None)
+            assert len(s1) == len(s0)
+        # Dataflow preserved: op 2 still reads op 0's and op 1's results.
+        assert new_shape[2][2] == (new_shape[0][1], new_shape[1][1])
+
+
+class TestConflictReduction:
+    def test_weight_metric(self):
+        groups = [(0, 4), (0, 4), (1, 2)]
+        identity = {r: r for r in range(8)}
+        assert bank_conflict_weight(groups, {r: r % 4 for r in range(8)}) == 2
+
+    @given(st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11)), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_never_worse_than_identity(self, pairs):
+        shape = [_op(8 + i % 4, a, b) for i, (a, b) in enumerate(pairs)]
+        tags = [OperandTags(mrf_reads=tuple({a, b})) for a, b in pairs]
+        groups = [t.mrf_reads for t in tags]
+        mapping = assign_banks(shape, tags, num_regs=16)
+        identity_cost = bank_conflict_weight(
+            groups, {r: r % 4 for r in range(16)}
+        )
+        new_cost = bank_conflict_weight(
+            [tuple(mapping[r] for r in g) for g in groups],
+            {r: r % 4 for r in range(64)},
+        )
+        assert new_cost <= identity_cost

@@ -1,0 +1,84 @@
+"""Unit tests for liveness analysis."""
+
+import pytest
+
+from repro.compiler import live_intervals, max_live_registers
+from repro.isa import WarpBuilder
+
+
+class TestLiveIntervals:
+    def test_simple_chain(self):
+        b = WarpBuilder()
+        v0 = b.iconst()  # op 0
+        v1 = b.alu(v0)  # op 1
+        v2 = b.alu(v1)  # op 2
+        b.touch(v2)  # op 3
+        iv = live_intervals(b.ops)
+        assert iv[v0] == (0, 1)
+        assert iv[v1] == (1, 2)
+        assert iv[v2] == (2, 3)
+
+    def test_undefined_read_rejected(self):
+        from repro.isa import OpClass, WarpOp
+
+        b = WarpBuilder()
+        b.iconst()
+        ops = list(b.ops)
+        ops.append(WarpOp(OpClass.ALU, dst=50, srcs=(99,)))
+        with pytest.raises(ValueError, match="before definition"):
+            live_intervals(ops)
+
+    def test_long_lived_value(self):
+        b = WarpBuilder()
+        base = b.iconst()  # live across everything
+        for _ in range(10):
+            x = b.alu(base)
+        iv = live_intervals(b.ops)
+        assert iv[base] == (0, 10)
+
+
+class TestMaxLive:
+    def test_empty(self):
+        assert max_live_registers([]) == 0
+
+    def test_chain_needs_two(self):
+        b = WarpBuilder()
+        v = b.iconst()
+        for _ in range(20):
+            v = b.alu(v)
+        # At each ALU the source and fresh destination are both live.
+        assert max_live_registers(b.ops) == 2
+
+    def test_accumulator_pool(self):
+        b = WarpBuilder()
+        pool = [b.iconst() for _ in range(10)]
+        x = b.iconst()
+        for acc in pool:
+            b.alu_into(acc, x)
+        b.touch(*pool)
+        # 10 accumulators + x live together (x dies at last alu_into,
+        # where all 10 accumulators are still live plus x itself).
+        assert max_live_registers(b.ops) == 11
+
+    def test_alu_into_does_not_grow_pressure(self):
+        b = WarpBuilder()
+        acc = b.iconst()
+        x = b.iconst()
+        for _ in range(50):
+            b.alu_into(acc, x)
+        b.touch(acc)
+        assert max_live_registers(b.ops) == 2
+
+    def test_dead_values_do_not_accumulate(self):
+        b = WarpBuilder()
+        for _ in range(30):
+            b.iconst()  # each result is dead immediately
+        assert max_live_registers(b.ops) == 1
+
+    def test_known_diamond(self):
+        b = WarpBuilder()
+        a = b.iconst()
+        x = b.alu(a)
+        y = b.alu(a)
+        b.alu(x, y)
+        assert max_live_registers(b.ops) == 3  # a, x live at op 2; x,y,dst at op 3

@@ -1,0 +1,209 @@
+"""Unit and property tests for the linear-scan spill scheduler.
+
+The key correctness oracle is a small interpreter that replays a spill
+schedule, tracking which virtual-register *value* each architectural
+register and spill slot holds, and checks that every rewritten op reads
+exactly the values the original op read.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import max_live_registers, schedule_registers
+from repro.compiler.regalloc import Fill, Rewrite, Spill
+from repro.isa import OpClass, WarpBuilder
+
+
+def _shape(ops):
+    return [(op.op, op.dst, op.srcs) for op in ops]
+
+
+def replay_and_check(shape, schedule):
+    """Replay a schedule and verify value flow; returns (fills, spills)."""
+    reg_value: dict[int, int] = {}  # arch reg -> vreg whose value it holds
+    slot_value: dict[int, int] = {}  # spill slot -> vreg value stored
+    fills = spills = 0
+    for entry in schedule.entries:
+        if isinstance(entry, Fill):
+            assert entry.slot in slot_value, "fill from a never-written slot"
+            reg_value[entry.reg] = slot_value[entry.slot]
+            fills += 1
+        elif isinstance(entry, Spill):
+            assert entry.reg in reg_value, "spill of an empty register"
+            slot_value[entry.slot] = reg_value[entry.reg]
+            spills += 1
+        else:
+            assert isinstance(entry, Rewrite)
+            _, dst, srcs = shape[entry.index]
+            expected = list(dict.fromkeys(srcs))
+            got = [reg_value[r] for r in entry.srcs]
+            assert got == expected, (
+                f"op {entry.index}: reads values {got}, expected {expected}"
+            )
+            if dst is not None:
+                reg_value[entry.dst] = dst
+    rewrites = [e for e in schedule.entries if isinstance(e, Rewrite)]
+    assert [e.index for e in rewrites] == list(range(len(shape))), (
+        "every original op must appear exactly once, in order"
+    )
+    return fills, spills
+
+
+class TestNoSpillRegime:
+    def test_budget_at_max_live_has_no_spills(self):
+        b = WarpBuilder()
+        pool = [b.iconst() for _ in range(6)]
+        for _ in range(5):
+            for acc in pool:
+                b.alu_into(acc, pool[0])
+        b.touch(*pool)
+        peak = max_live_registers(b.ops)
+        sched = schedule_registers(_shape(b.ops), peak)
+        assert sched.num_fills == 0
+        assert sched.num_spills == 0
+        assert sched.num_slots == 0
+        replay_and_check(_shape(b.ops), sched)
+
+    def test_budget_below_max_live_spills(self):
+        b = WarpBuilder()
+        pool = [b.iconst() for _ in range(8)]
+        for _ in range(3):
+            for acc in pool:
+                b.alu_into(acc, pool[(pool.index(acc) + 1) % len(pool)])
+        for acc in pool:
+            b.touch(acc)
+        peak = max_live_registers(b.ops)
+        assert peak == 9  # 8 pool values plus an in-flight result
+        sched = schedule_registers(_shape(b.ops), 4)
+        assert sched.num_fills > 0
+        assert sched.num_spills > 0
+        replay_and_check(_shape(b.ops), sched)
+
+    def test_spill_count_monotone_in_budget(self):
+        b = WarpBuilder()
+        pool = [b.iconst() for _ in range(12)]
+        for i in range(40):
+            b.alu_into(pool[i % 12], pool[(i + 5) % 12])
+        for acc in pool:
+            b.touch(acc)
+        overheads = []
+        for regs in (4, 6, 8, 12, 16):
+            sched = schedule_registers(_shape(b.ops), regs)
+            replay_and_check(_shape(b.ops), sched)
+            overheads.append(sched.num_fills + sched.num_spills)
+        assert overheads == sorted(overheads, reverse=True)
+        assert overheads[-1] == 0  # 16 >= max_live of 13
+
+
+class TestEdgeCases:
+    def test_empty_stream(self):
+        sched = schedule_registers([], 8)
+        assert sched.entries == []
+        assert sched.num_slots == 0
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            schedule_registers([], 0)
+
+    def test_too_many_operands_for_budget(self):
+        b = WarpBuilder()
+        vals = [b.iconst() for _ in range(5)]
+        b.touch(*vals)
+        with pytest.raises((ValueError, RuntimeError)):
+            schedule_registers(_shape(b.ops), 3)
+
+    def test_duplicate_sources_counted_once(self):
+        b = WarpBuilder()
+        v = b.iconst()
+        b.alu(v, v, v)
+        sched = schedule_registers(_shape(b.ops), 2)
+        op = [e for e in sched.entries if isinstance(e, Rewrite)][-1]
+        assert len(op.srcs) == 1
+
+    def test_dead_destination_frees_register(self):
+        b = WarpBuilder()
+        keep = b.iconst()
+        for _ in range(20):
+            b.alu(keep)  # results are dead
+        b.touch(keep)
+        sched = schedule_registers(_shape(b.ops), 2)
+        assert sched.num_spills == 0
+
+    def test_clean_revictim_not_respilled(self):
+        # A value spilled once, reloaded, and not modified must not be
+        # stored a second time when evicted again.
+        b = WarpBuilder()
+        vals = [b.iconst() for _ in range(4)]
+        b.touch(vals[0])
+        b.touch(vals[1])
+        b.touch(vals[0])
+        b.touch(vals[1])
+        for v in vals:
+            b.touch(v)
+        sched = schedule_registers(_shape(b.ops), 3)
+        replay_and_check(_shape(b.ops), sched)
+        spilled_slots = [e.slot for e in sched.entries if isinstance(e, Spill)]
+        assert len(spilled_slots) == len(set(spilled_slots))
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+@st.composite
+def warp_streams(draw):
+    """Random well-formed warp streams over virtual registers."""
+    b = WarpBuilder()
+    live = [b.iconst()]
+    n_ops = draw(st.integers(min_value=1, max_value=60))
+    for _ in range(n_ops):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        picks = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(live) - 1),
+                min_size=1,
+                max_size=3,
+            )
+        )
+        srcs = [live[i] for i in picks]
+        if kind == 0:
+            live.append(b.alu(*srcs))
+        elif kind == 1:
+            b.alu_into(srcs[0], *srcs[1:])
+        elif kind == 2:
+            live.append(b.sfu(*srcs))
+        else:
+            b.touch(*srcs)
+        if len(live) > 20:
+            live = live[-20:]
+    b.touch(*live[-4:])
+    return b.ops
+
+
+@given(ops=warp_streams(), regs=st.integers(min_value=6, max_value=24))
+@settings(max_examples=60, deadline=None)
+def test_schedule_preserves_value_flow(ops, regs):
+    shape = _shape(ops)
+    sched = schedule_registers(shape, regs)
+    replay_and_check(shape, sched)
+
+
+@given(ops=warp_streams())
+@settings(max_examples=40, deadline=None)
+def test_no_spills_at_peak_liveness(ops):
+    peak = max_live_registers(ops)
+    sched = schedule_registers(_shape(ops), peak)
+    assert sched.num_fills == 0 and sched.num_spills == 0
+
+
+@given(ops=warp_streams(), regs=st.integers(min_value=6, max_value=24))
+@settings(max_examples=40, deadline=None)
+def test_register_budget_respected(ops, regs):
+    sched = schedule_registers(_shape(ops), regs)
+    assert sched.regs_used <= regs
+    for entry in sched.entries:
+        if isinstance(entry, Rewrite):
+            used = set(entry.srcs) | ({entry.dst} if entry.dst is not None else set())
+        elif isinstance(entry, (Fill, Spill)):
+            used = {entry.reg}
+        assert all(0 <= r < regs for r in used)

@@ -1,0 +1,143 @@
+"""Unit tests for MRF/ORF/LRF operand tagging."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.rfhierarchy import ORF_ENTRIES, tag_hierarchy
+from repro.isa import OpClass
+
+
+def A(dst, *srcs):
+    return (OpClass.ALU, dst, tuple(srcs))
+
+
+def SF(dst, *srcs):
+    return (OpClass.SFU, dst, tuple(srcs))
+
+
+def LDG(dst, *srcs):
+    return (OpClass.LOAD_GLOBAL, dst, tuple(srcs))
+
+
+def STG(*srcs):
+    return (OpClass.STORE_GLOBAL, None, tuple(srcs))
+
+
+def LDS(dst, *srcs):
+    return (OpClass.LOAD_SHARED, dst, tuple(srcs))
+
+
+def BAR():
+    return (OpClass.BARRIER, None, ())
+
+
+class TestLRF:
+    def test_back_to_back_alu_forwards_through_lrf(self):
+        tags = tag_hierarchy([A(0), A(1, 0)])
+        assert tags[1].lrf_reads == 1
+        assert tags[1].mrf_reads == ()
+
+    def test_gap_falls_back_to_orf(self):
+        tags = tag_hierarchy([A(0), A(1), A(2, 0)])
+        assert tags[2].lrf_reads == 0
+        assert tags[2].orf_reads == 1
+
+    def test_sfu_result_not_lrf_eligible(self):
+        # SFU latency (20 cycles) prevents next-cycle forwarding.
+        tags = tag_hierarchy([SF(0), A(1, 0)])
+        assert tags[1].lrf_reads == 0
+        assert tags[1].orf_reads == 1
+
+    def test_shared_load_result_not_lrf_eligible(self):
+        tags = tag_hierarchy([LDS(0), A(1, 0)])
+        assert tags[1].lrf_reads == 0
+        assert tags[1].orf_reads == 1
+
+
+class TestORF:
+    def test_capacity_is_four(self):
+        # Write 5 values, then read the oldest: it has been evicted.
+        ops = [A(i) for i in range(ORF_ENTRIES + 1)] + [A(9, 0)]
+        tags = tag_hierarchy(ops)
+        assert tags[-1].orf_reads == 0
+        assert tags[-1].mrf_reads == (0,)
+        # The producer of reg 0 is retroactively promoted to MRF write.
+        assert tags[0].mrf_write
+
+    def test_recent_value_hits_orf(self):
+        ops = [A(i) for i in range(ORF_ENTRIES)] + [A(9, 0)]
+        tags = tag_hierarchy(ops)
+        assert tags[-1].orf_reads == 1
+        assert not tags[0].mrf_write
+
+    def test_clobbered_register_entry_is_stale(self):
+        # reg 0 written twice; old ORF entry must not serve the new value.
+        ops = [A(0), A(1), A(0, 1), A(2, 0)]
+        tags = tag_hierarchy(ops)
+        # read of reg 0 at op 3: producer is op 2, which is in ORF -> orf
+        assert tags[3].lrf_reads == 1 or tags[3].orf_reads == 1
+
+
+class TestDeschedulePoints:
+    def test_values_live_across_load_go_to_mrf(self):
+        ops = [A(0), LDG(1), A(2, 0)]
+        tags = tag_hierarchy(ops)
+        assert tags[2].mrf_reads == (0,)
+        assert tags[0].mrf_write  # retroactive write-back
+
+    def test_barrier_invalidates_hierarchy(self):
+        ops = [A(0), BAR(), A(1, 0)]
+        tags = tag_hierarchy(ops)
+        assert tags[2].mrf_reads == (0,)
+        assert tags[0].mrf_write
+
+    def test_load_result_goes_directly_to_mrf(self):
+        ops = [LDG(0), A(1, 0)]
+        tags = tag_hierarchy(ops)
+        assert tags[0].mrf_write
+        assert not tags[0].orf_write
+        assert tags[1].mrf_reads == (0,)
+
+    def test_value_never_reread_is_not_written_back(self):
+        # Minimal write-back: dead-after-segment values never touch MRF.
+        ops = [A(0), A(1, 0), LDG(2)]
+        tags = tag_hierarchy(ops)
+        assert not tags[0].mrf_write
+        assert not tags[1].mrf_write
+
+
+class TestTrafficReduction:
+    def test_alu_dense_stream_cuts_mrf_reads_heavily(self):
+        # A stream of chained ALU work: most reads served by LRF/ORF.
+        ops = [A(0)]
+        for i in range(1, 100):
+            ops.append(A(i, i - 1))
+        tags = tag_hierarchy(ops)
+        mrf = sum(len(t.mrf_reads) for t in tags)
+        total = mrf + sum(t.orf_reads + t.lrf_reads for t in tags)
+        assert mrf / total < 0.1
+
+    def test_duplicate_operand_counted_once(self):
+        tags = tag_hierarchy([A(0), A(1, 0, 0, 0)])
+        assert tags[1].lrf_reads == 1
+        assert tags[1].orf_reads == 0
+        assert tags[1].mrf_reads == ()
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([OpClass.ALU, OpClass.SFU, OpClass.LOAD_GLOBAL]),
+            st.integers(0, 7),
+            st.lists(st.integers(0, 7), max_size=3).map(tuple),
+        ),
+        max_size=80,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_every_read_is_tagged_exactly_once(ops):
+    tags = tag_hierarchy(ops)
+    for (op, dst, srcs), t in zip(ops, tags):
+        distinct = len(set(srcs))
+        assert len(t.mrf_reads) + t.orf_reads + t.lrf_reads == distinct
+        assert len(set(t.mrf_reads)) == len(t.mrf_reads)

@@ -1,0 +1,142 @@
+"""Unit and property tests for the Section 4.5 allocation algorithm."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AllocationError, DesignStyle, allocate_unified
+from repro.core.partition import KB, MAX_THREADS
+
+
+class TestPaperExamples:
+    """Figure 8 configurations the paper reports for the 384 KB design."""
+
+    def test_bfs_allocation(self):
+        # bfs: 9 regs/thread, no shared memory -> 36 KB RF at 1024 threads,
+        # remainder (348 KB) becomes cache.
+        a = allocate_unified(384 * KB, regs_per_thread=9, threads_per_cta=256)
+        assert a.resident_threads == 1024
+        assert a.partition.rf_kb == 36
+        assert a.partition.smem_kb == 0
+        assert a.partition.cache_kb == 384 - 36
+
+    def test_dgemm_allocation(self):
+        # dgemm: 57 regs/thread -> 228 KB RF at 1024 threads.
+        a = allocate_unified(
+            384 * KB,
+            regs_per_thread=57,
+            threads_per_cta=128,
+            smem_bytes_per_cta=int(66.5 * 128),
+        )
+        assert a.resident_threads == 1024
+        assert a.partition.rf_kb == 228
+        assert a.partition.cache_bytes >= 0
+
+    def test_needle_like_allocation_devotes_bulk_to_smem(self):
+        # needle: few registers, huge shared memory per CTA.
+        a = allocate_unified(
+            384 * KB,
+            regs_per_thread=18,
+            threads_per_cta=32,
+            smem_bytes_per_cta=264 * KB // 32,
+        )
+        assert a.partition.smem_bytes > a.partition.rf_bytes
+
+    def test_style_is_unified(self):
+        a = allocate_unified(384 * KB, regs_per_thread=16, threads_per_cta=256)
+        assert a.partition.style is DesignStyle.UNIFIED
+
+
+class TestConstraints:
+    def test_capacity_conservation(self):
+        a = allocate_unified(
+            256 * KB, regs_per_thread=24, threads_per_cta=192, smem_bytes_per_cta=4096
+        )
+        p = a.partition
+        assert p.total_bytes == 256 * KB
+
+    def test_thread_target_caps_residency(self):
+        a = allocate_unified(
+            384 * KB, regs_per_thread=9, threads_per_cta=256, thread_target=512
+        )
+        assert a.resident_threads == 512
+        # Freed register capacity flows to cache.
+        full = allocate_unified(384 * KB, regs_per_thread=9, threads_per_cta=256)
+        assert a.partition.cache_bytes > full.partition.cache_bytes
+
+    def test_cta_granularity(self):
+        a = allocate_unified(100 * KB, regs_per_thread=40, threads_per_cta=192)
+        assert a.resident_threads % 192 == 0
+
+    def test_unfittable_kernel_raises(self):
+        with pytest.raises(AllocationError):
+            allocate_unified(
+                64 * KB,
+                regs_per_thread=64,
+                threads_per_cta=512,
+                smem_bytes_per_cta=0,
+            )
+
+    def test_thread_target_below_cta_raises(self):
+        with pytest.raises(AllocationError):
+            allocate_unified(
+                384 * KB, regs_per_thread=8, threads_per_cta=512, thread_target=256
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(total_bytes=0, regs_per_thread=8, threads_per_cta=32),
+            dict(total_bytes=1024, regs_per_thread=0, threads_per_cta=32),
+            dict(total_bytes=1024, regs_per_thread=8, threads_per_cta=0),
+            dict(
+                total_bytes=1024,
+                regs_per_thread=8,
+                threads_per_cta=32,
+                smem_bytes_per_cta=-1,
+            ),
+        ],
+    )
+    def test_invalid_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            allocate_unified(**kwargs)
+
+
+@given(
+    total_kb=st.sampled_from([128, 256, 384, 512]),
+    regs=st.integers(min_value=1, max_value=64),
+    tpc=st.sampled_from([32, 64, 128, 256, 512]),
+    smem_per_thread=st.integers(min_value=0, max_value=264),
+    target=st.sampled_from([256, 512, 768, 1024]),
+)
+@settings(max_examples=200, deadline=None)
+def test_allocation_invariants(total_kb, regs, tpc, smem_per_thread, target):
+    total = total_kb * KB
+    try:
+        a = allocate_unified(
+            total,
+            regs_per_thread=regs,
+            threads_per_cta=tpc,
+            smem_bytes_per_cta=smem_per_thread * tpc,
+            thread_target=target,
+        )
+    except AllocationError:
+        # Must genuinely not fit: either one CTA exceeds the pool or the
+        # thread target is below one CTA.
+        per_cta = 4 * regs * tpc + smem_per_thread * tpc
+        assert per_cta > total or min(target, MAX_THREADS) < tpc
+        return
+    p = a.partition
+    # Conservation and non-negativity.
+    assert p.total_bytes == total
+    assert p.cache_bytes >= 0
+    # Registers and shared memory exactly cover the residency.
+    assert p.rf_bytes == 4 * regs * a.resident_threads
+    assert p.smem_bytes == smem_per_thread * a.resident_threads
+    # Residency respects caps and granularity.
+    assert a.resident_threads <= min(target, MAX_THREADS)
+    assert a.resident_threads % tpc == 0
+    # Maximality: one more CTA must not fit.
+    extra = a.resident_ctas + 1
+    per_cta = 4 * regs * tpc + smem_per_thread * tpc
+    assert extra * per_cta > total or extra * tpc > min(target, MAX_THREADS)

@@ -1,0 +1,39 @@
+"""Tests for thread-count autotuning (paper Section 4.5 / ref [24])."""
+
+import pytest
+
+from repro.core import AllocationError, autotune_threads
+from repro.core.partition import KB
+from repro.experiments.runner import Runner
+
+
+@pytest.fixture(scope="module")
+def rn():
+    return Runner("tiny")
+
+
+class TestSweep:
+    def test_points_are_distinct_residencies(self, rn):
+        res = autotune_threads(rn.compiled("pcr"), 384 * KB)
+        threads = [p.threads for p in res.points]
+        assert len(threads) == len(set(threads))
+        assert all(t % 256 == 0 for t in threads)  # pcr CTAs are 256 wide
+
+    def test_best_is_minimal_cycles(self, rn):
+        res = autotune_threads(rn.compiled("bfs"), 384 * KB)
+        assert res.best.result.cycles == min(p.result.cycles for p in res.points)
+        assert res.gain_over_max_threads >= 1.0
+
+    def test_lower_thread_counts_grow_the_cache(self, rn):
+        res = autotune_threads(rn.compiled("dgemm"), 384 * KB)
+        pts = sorted(res.points, key=lambda p: p.threads)
+        caches = [p.allocation.partition.cache_bytes for p in pts]
+        assert caches == sorted(caches, reverse=True)
+
+    def test_min_threads_respected(self, rn):
+        res = autotune_threads(rn.compiled("vectoradd"), 384 * KB, min_threads=512)
+        assert all(p.threads >= 512 for p in res.points)
+
+    def test_unfittable_kernel_raises(self, rn):
+        with pytest.raises(AllocationError):
+            autotune_threads(rn.compiled("dgemm"), 8 * KB)

@@ -1,0 +1,36 @@
+"""Tests for the bank-layout renderer (paper Figures 5-6)."""
+
+from repro.core import DesignStyle, MemoryPartition, fermi_like, partitioned_baseline
+from repro.core.diagram import bank_layout
+from repro.core.partition import KB
+
+
+class TestLayouts:
+    def test_baseline_shows_three_structures(self):
+        out = bank_layout(partitioned_baseline())
+        assert "register file: 32 banks of 8 KB" in out
+        assert "shared memory: 32 banks of 2 KB" in out
+        assert "cache: 32 banks of 2 KB" in out
+
+    def test_unified_proportions(self):
+        p = MemoryPartition(
+            DesignStyle.UNIFIED,
+            rf_bytes=96 * KB,
+            smem_bytes=96 * KB,
+            cache_bytes=192 * KB,
+        )
+        out = bank_layout(p, rows=8)
+        grid_rows = [l for l in out.splitlines() if l.startswith("  ") and " = " not in l]
+        glyphs = [r.strip()[0] for r in grid_rows]
+        # 8 rows split 2 R / 2 S / 4 C.
+        assert glyphs == ["R", "R", "S", "S", "C", "C", "C", "C"]
+        assert "12 KB" in out
+
+    def test_fermi_pool_described(self):
+        out = bank_layout(fermi_like(0))
+        assert "shared/cache pool" in out
+        assert "split 96/32" in out
+
+    def test_legend_present(self):
+        for p in (partitioned_baseline(), fermi_like(1)):
+            assert "R = registers" in bank_layout(p)

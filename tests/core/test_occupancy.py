@@ -1,0 +1,90 @@
+"""Unit tests for occupancy computation."""
+
+import pytest
+
+from repro.core import max_resident_threads, occupancy_limits, partitioned_baseline, partitioned_design
+from repro.core.partition import KB
+
+
+class TestBaselineOccupancy:
+    def test_light_kernel_reaches_full_occupancy(self):
+        # 9 regs/thread, no shared memory: neither resource binds.
+        lim = occupancy_limits(
+            partitioned_baseline(), regs_per_thread=9, threads_per_cta=256, smem_bytes_per_cta=0
+        )
+        assert lim.resident_threads == 1024
+        assert lim.limiting_resource == "threads"
+
+    def test_register_limited_kernel(self):
+        # 80 regs/thread: 256 KB / (80*4*128) = 6.4 -> 6 CTAs of 128.
+        lim = occupancy_limits(
+            partitioned_baseline(), regs_per_thread=80, threads_per_cta=128, smem_bytes_per_cta=0
+        )
+        assert lim.ctas_by_registers == 6
+        assert lim.resident_threads == 768
+        assert lim.limiting_resource == "registers"
+
+    def test_dgemm_baseline_is_smem_bound(self):
+        # dgemm (Table 1): 57 regs and 66.5 B/thread of shared memory.
+        # Its 228 KB register footprint fits the 256 KB baseline RF, but
+        # 68 KB of shared memory does not fit 64 KB -> 7 CTAs resident.
+        lim = occupancy_limits(
+            partitioned_baseline(),
+            regs_per_thread=57,
+            threads_per_cta=128,
+            smem_bytes_per_cta=int(66.5 * 128),
+        )
+        assert lim.ctas_by_registers == 8
+        assert lim.ctas_by_smem == 7
+        assert lim.limiting_resource == "shared memory"
+
+    def test_shared_memory_limited_kernel(self):
+        # needle-like: 8.25 KB of shared memory per 32-thread CTA.
+        lim = occupancy_limits(
+            partitioned_baseline(),
+            regs_per_thread=18,
+            threads_per_cta=32,
+            smem_bytes_per_cta=int(8.25 * KB),
+        )
+        assert lim.ctas_by_smem == 7  # 64 KB / 8.25 KB
+        assert lim.resident_threads == 7 * 32
+        assert lim.limiting_resource == "shared memory"
+
+    def test_thread_target_sweep(self):
+        for target in (256, 512, 768, 1024):
+            t = max_resident_threads(
+                partitioned_baseline(),
+                regs_per_thread=9,
+                threads_per_cta=256,
+                smem_bytes_per_cta=0,
+                thread_target=target,
+            )
+            assert t == target
+
+
+class TestEdgeCases:
+    def test_zero_residency_when_cta_does_not_fit(self):
+        tiny = partitioned_design(16, 1, 1)
+        lim = occupancy_limits(
+            tiny, regs_per_thread=64, threads_per_cta=256, smem_bytes_per_cta=0
+        )
+        assert lim.resident_ctas == 0
+
+    def test_invalid_arguments(self):
+        p = partitioned_baseline()
+        with pytest.raises(ValueError):
+            occupancy_limits(p, 0, 32, 0)
+        with pytest.raises(ValueError):
+            occupancy_limits(p, 8, 0, 0)
+        with pytest.raises(ValueError):
+            occupancy_limits(p, 8, 32, -4)
+
+    def test_target_never_exceeds_hardware_cap(self):
+        t = max_resident_threads(
+            partitioned_baseline(),
+            regs_per_thread=9,
+            threads_per_cta=256,
+            smem_bytes_per_cta=0,
+            thread_target=4096,
+        )
+        assert t == 1024

@@ -1,0 +1,95 @@
+"""Unit tests for MemoryPartition and the design-point factories."""
+
+import pytest
+
+from repro.core import (
+    DesignStyle,
+    MemoryPartition,
+    fermi_like,
+    fermi_like_best_split,
+    partitioned_baseline,
+    partitioned_design,
+)
+from repro.core.partition import BANK_WIDTH, KB, NUM_BANKS
+
+
+class TestBaseline:
+    def test_section_2_1_capacities(self):
+        p = partitioned_baseline()
+        assert p.rf_kb == 256
+        assert p.smem_kb == 64
+        assert p.cache_kb == 64
+        assert p.total_bytes == 384 * KB
+        assert p.style is DesignStyle.PARTITIONED
+
+    def test_bank_geometry_matches_paper(self):
+        p = partitioned_baseline()
+        # 32 MRF banks of 8 KB; 32 shared and 32 cache banks of 2 KB.
+        assert p.rf_geometry.num_banks == NUM_BANKS
+        assert p.rf_geometry.bank_kb == 8
+        assert p.smem_geometry.bank_kb == 2
+        assert p.cache_geometry.bank_kb == 2
+
+    def test_tag_storage_is_1_125_kb(self):
+        # Paper Section 4.1: 64 KB cache needs 1.125 KB of tags.
+        assert partitioned_baseline().tag_bytes == int(1.125 * KB)
+
+
+class TestUnifiedGeometry:
+    def test_384kb_unified_bank_is_12kb(self):
+        p = MemoryPartition(
+            DesignStyle.UNIFIED,
+            rf_bytes=228 * KB,
+            smem_bytes=66 * KB + 512,
+            cache_bytes=384 * KB - 228 * KB - 66 * KB - 512,
+        )
+        assert p.rf_geometry.bank_kb == 12
+        assert p.smem_geometry == p.cache_geometry == p.rf_geometry
+
+    def test_384kb_unified_tag_overhead(self):
+        # Paper: up to 7.125 KB of tags if all 384 KB can become cache.
+        p = MemoryPartition(
+            DesignStyle.UNIFIED, rf_bytes=1, smem_bytes=0, cache_bytes=384 * KB - 1
+        )
+        assert p.tag_bytes == pytest.approx(7.125 * KB, rel=0.01)
+
+
+class TestFermiLike:
+    def test_splits(self):
+        a = fermi_like(0)
+        assert (a.smem_kb, a.cache_kb) == (96, 32)
+        b = fermi_like(1)
+        assert (b.smem_kb, b.cache_kb) == (32, 96)
+        assert a.rf_kb == b.rf_kb == 256
+        assert a.total_bytes == b.total_bytes == 384 * KB
+
+    def test_pool_geometry_shared(self):
+        p = fermi_like(0)
+        assert p.smem_geometry == p.cache_geometry
+        assert p.smem_geometry.bank_kb == 4  # 128 KB pool over 32 banks
+        assert p.rf_geometry.bank_kb == 8
+
+    def test_best_split_heuristic(self):
+        assert fermi_like_best_split(80 * KB).smem_kb == 96
+        assert fermi_like_best_split(10 * KB).smem_kb == 32
+
+
+class TestValidation:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MemoryPartition(DesignStyle.PARTITIONED, rf_bytes=-1, smem_bytes=0, cache_bytes=0)
+
+    def test_zero_rf_rejected(self):
+        with pytest.raises(ValueError, match="register file"):
+            MemoryPartition(DesignStyle.PARTITIONED, rf_bytes=0, smem_bytes=1, cache_bytes=1)
+
+    def test_custom_partitioned_design(self):
+        p = partitioned_design(128, 32, 16)
+        assert p.total_bytes == 176 * KB
+
+    def test_describe_readable(self):
+        text = partitioned_baseline().describe()
+        assert "256" in text and "64" in text and "partitioned" in text
+
+    def test_bank_width_constant(self):
+        assert BANK_WIDTH == 16

@@ -1,0 +1,90 @@
+"""Tests for per-kernel repartitioning (paper Section 4.4)."""
+
+import pytest
+
+from repro.core import (
+    AllocationError,
+    ReconfigPolicy,
+    fixed_envelope_partition,
+    run_application,
+)
+from repro.core.partition import KB
+from repro.experiments.runner import Runner
+
+
+@pytest.fixture(scope="module")
+def rn():
+    return Runner("tiny")
+
+
+@pytest.fixture(scope="module")
+def diverse_app(rn):
+    # Register-heavy, scratch-heavy, cache-heavy: the worst case for a
+    # single fixed partition.
+    return [rn.compiled(n) for n in ("dgemm", "needle", "bfs")]
+
+
+class TestFixedEnvelope:
+    def test_envelope_covers_every_kernel(self, diverse_app):
+        part = fixed_envelope_partition(diverse_app, 384 * KB)
+        for k in diverse_app:
+            tpc = k.launch.threads_per_cta
+            assert part.rf_bytes >= 4 * k.regs_per_thread * tpc
+            assert part.smem_bytes >= k.launch.smem_bytes_per_cta
+        assert part.total_bytes == 384 * KB
+
+    def test_single_kernel_envelope_equals_allocation(self, rn):
+        k = rn.compiled("bfs")
+        part = fixed_envelope_partition([k], 384 * KB)
+        assert part.rf_kb == pytest.approx(36)
+
+    def test_impossible_envelope_raises(self, diverse_app):
+        with pytest.raises(AllocationError):
+            fixed_envelope_partition(diverse_app, 16 * KB)
+
+    def test_empty_application_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_envelope_partition([], 384 * KB)
+
+
+class TestPolicies:
+    def test_per_kernel_beats_fixed_on_diverse_app(self, diverse_app):
+        fixed = run_application(diverse_app, 384 * KB, "fixed")
+        per = run_application(diverse_app, 384 * KB, "per-kernel")
+        # Three kernels with conflicting demands: right-sizing wins big.
+        assert per.speedup_over(fixed) > 1.2
+        assert per.reconfigurations == 2
+        assert per.drain_cycles > 0
+
+    def test_uniform_app_needs_no_reconfiguration(self, rn):
+        ks = [rn.compiled("vectoradd"), rn.compiled("vectoradd")]
+        per = run_application(ks, 384 * KB, ReconfigPolicy.PER_KERNEL)
+        assert per.reconfigurations == 0
+        assert per.drain_cycles == 0
+
+    def test_phase_partitions_follow_kernels(self, diverse_app):
+        per = run_application(diverse_app, 384 * KB, "per-kernel")
+        by_kernel = {p.kernel: p.partition for p in per.phases}
+        assert by_kernel["dgemm"].rf_kb > by_kernel["bfs"].rf_kb
+        assert by_kernel["needle"].smem_kb > by_kernel["dgemm"].smem_kb
+        assert by_kernel["bfs"].cache_kb == max(
+            p.partition.cache_kb for p in per.phases
+        )
+
+    def test_fixed_policy_uses_one_partition(self, diverse_app):
+        fixed = run_application(diverse_app, 384 * KB, "fixed")
+        parts = {p.partition for p in fixed.phases}
+        assert len(parts) == 1
+        assert fixed.reconfigurations == 0
+
+    def test_totals_aggregate(self, diverse_app):
+        per = run_application(diverse_app, 384 * KB, "per-kernel")
+        assert per.total_cycles == pytest.approx(
+            sum(p.result.cycles for p in per.phases) + per.drain_cycles
+        )
+        assert per.total_dram_accesses == sum(
+            p.result.dram_accesses for p in per.phases
+        )
+
+    def test_string_policy_accepted(self, diverse_app):
+        assert run_application(diverse_app, 384 * KB, "fixed").policy is ReconfigPolicy.FIXED

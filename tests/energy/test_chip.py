@@ -1,0 +1,56 @@
+"""Tests for the chip-level scale-up model."""
+
+import pytest
+
+from repro.core import partitioned_baseline
+from repro.energy.chip import CHIP_POWER_W, NUM_SMS, ChipModel
+from repro.sm import simulate
+from tests.util import compiled, multi_warp_kernel, warp_alu_chain, warp_streaming_loads
+
+
+@pytest.fixture(scope="module")
+def busy_result():
+    # A mixed workload keeping all 32 warps busy.
+    warps = [warp_streaming_loads(8, base=i << 20) for i in range(4)] + [
+        warp_alu_chain(100) for _ in range(4)
+    ]
+    k = compiled(multi_warp_kernel(warps, num_ctas=4))
+    return simulate(k, partitioned_baseline())
+
+
+class TestChipSummary:
+    def test_components_sum(self, busy_result):
+        c = ChipModel().evaluate(busy_result)
+        assert c.total_j == pytest.approx(c.sm_energy_j + c.memory_system_j)
+        assert c.runtime_s == pytest.approx(busy_result.cycles * 1e-9)
+
+    def test_average_power_in_budget_ballpark(self, busy_result):
+        # The paper's chip draws 130 W; our model must land in the same
+        # regime (the SM share alone accounts for ~91 W when busy).
+        c = ChipModel().evaluate(busy_result)
+        assert 60 < c.avg_power_w < 200
+
+    def test_sm_share_dominates(self, busy_result):
+        c = ChipModel().evaluate(busy_result)
+        assert c.sm_energy_j > c.memory_system_j
+
+    def test_scaling_is_32x_sm(self, busy_result):
+        from repro.energy import EnergyModel
+
+        sm = EnergyModel().evaluate(busy_result)
+        c = ChipModel().evaluate(busy_result)
+        assert c.sm_energy_j == pytest.approx(
+            NUM_SMS * (sm.core_dynamic_j + sm.bank_j + sm.leakage_j)
+        )
+
+    def test_energy_per_instruction_positive(self, busy_result):
+        c = ChipModel().evaluate(busy_result)
+        assert c.energy_per_instruction_pj > 0
+
+    def test_summary_readable(self, busy_result):
+        text = ChipModel().evaluate(busy_result).summary()
+        assert "W average" in text
+
+    def test_constants_match_paper(self):
+        assert NUM_SMS == 32
+        assert CHIP_POWER_W == 130.0

@@ -1,0 +1,101 @@
+"""Tests for chip-level energy accounting."""
+
+import pytest
+
+from repro.core import DesignStyle, MemoryPartition, partitioned_baseline
+from repro.core.partition import KB
+from repro.energy import EnergyModel, EnergyParams
+from repro.sm import simulate
+from tests.util import compiled, single_warp_kernel, warp_streaming_loads
+
+
+def unified_equal_capacity():
+    return MemoryPartition(
+        DesignStyle.UNIFIED,
+        rf_bytes=256 * KB,
+        smem_bytes=64 * KB,
+        cache_bytes=64 * KB,
+    )
+
+
+@pytest.fixture(scope="module")
+def run_pair():
+    k = compiled(single_warp_kernel(warp_streaming_loads(20)))
+    base = simulate(k, partitioned_baseline())
+    uni = simulate(k, unified_equal_capacity())
+    return base, uni
+
+
+class TestBreakdown:
+    def test_components_positive_and_sum(self, run_pair):
+        base, _ = run_pair
+        e = EnergyModel().evaluate(base)
+        assert e.core_dynamic_j > 0
+        assert e.bank_j > 0
+        assert e.leakage_j > 0
+        assert e.dram_j > 0
+        assert e.total_j == pytest.approx(
+            e.core_dynamic_j + e.bank_j + e.leakage_j + e.dram_j
+        )
+
+    def test_dram_energy_follows_traffic(self, run_pair):
+        base, _ = run_pair
+        e = EnergyModel().evaluate(base)
+        expected = base.energy_counts.dram_bits * 40e-12
+        assert e.dram_j == pytest.approx(expected)
+
+    def test_core_dynamic_uses_baseline_runtime(self, run_pair):
+        base, uni = run_pair
+        m = EnergyModel()
+        priced = m.evaluate(uni, baseline_cycles=base.cycles)
+        own = m.evaluate(uni)
+        assert priced.core_dynamic_j == pytest.approx(
+            1.9 * base.cycles * 1e-9
+        )
+        if uni.cycles != base.cycles:
+            assert priced.core_dynamic_j != own.core_dynamic_j
+
+    def test_leakage_scales_with_capacity_and_time(self, run_pair):
+        base, _ = run_pair
+        m = EnergyModel()
+        e_big = m.leakage_j(base)
+        small = simulate(
+            compiled(single_warp_kernel(warp_streaming_loads(20))),
+            MemoryPartition(
+                DesignStyle.PARTITIONED,
+                rf_bytes=64 * KB,
+                smem_bytes=32 * KB,
+                cache_bytes=32 * KB,
+            ),
+        )
+        e_small = m.leakage_j(small)
+        # Same workload, near-equal runtime, one-third the SRAM.
+        assert e_small < e_big
+
+    def test_summary_readable(self, run_pair):
+        base, _ = run_pair
+        text = EnergyModel().evaluate(base).summary()
+        assert "mJ" in text and "DRAM" in text
+
+
+class TestUnifiedOverheads:
+    def test_unified_bank_accesses_cost_more(self, run_pair):
+        base, uni = run_pair
+        m = EnergyModel()
+        # Same trace, same counts; unified banks are 12 KB vs 8/2 KB and
+        # shared/cache accesses pay the 10% wire overhead.
+        assert m.bank_energy_j(uni) > m.bank_energy_j(base)
+
+    def test_overhead_is_small_fraction_of_total(self, run_pair):
+        # Paper Section 6.1: bank energy increase is negligible chip-wide.
+        base, uni = run_pair
+        m = EnergyModel()
+        eb = m.evaluate(base)
+        eu = m.evaluate(uni, baseline_cycles=base.cycles)
+        assert eu.total_j / eb.total_j < 1.10
+
+    def test_wire_overhead_configurable(self, run_pair):
+        _, uni = run_pair
+        lo = EnergyModel(EnergyParams(unified_wire_overhead=0.0)).bank_energy_j(uni)
+        hi = EnergyModel(EnergyParams(unified_wire_overhead=0.5)).bank_energy_j(uni)
+        assert hi > lo

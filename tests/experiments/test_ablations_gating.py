@@ -1,0 +1,98 @@
+"""Tests for the ablation and power-gating experiments."""
+
+import pytest
+
+from repro.experiments import ablations, gating
+from repro.experiments.runner import Runner
+
+
+@pytest.fixture(scope="module")
+def rn():
+    return Runner("tiny")
+
+
+class TestClusterPortAblation:
+    def test_strict_port_never_faster(self, rn):
+        res = ablations.run_cluster_port(
+            runner=rn, benchmarks=("needle", "aes", "pcr", "vectoradd")
+        )
+        for row in res.rows:
+            assert row.delta >= -0.001, f"{row.name}: strict port sped things up?"
+        # The restriction matters somewhere (scatter-heavy kernels)...
+        assert any(r.delta > 0.005 for r in res.rows)
+        # ...but stays small on average, like the paper's 0.5% finding.
+        assert res.mean_delta < 0.10
+
+    def test_conflict_counters_recorded(self, rn):
+        res = ablations.run_cluster_port(runner=rn, benchmarks=("needle",))
+        row = res.row("needle")
+        assert row.extra["strict_conflicts"] >= row.extra["default_conflicts"]
+
+
+class TestHierarchyAblation:
+    def test_mrf_traffic_multiplies_without_hierarchy(self, rn):
+        # ALU-chained kernels lose the most (paper: ~60% MRF reduction);
+        # gather-dominated kernels like bfs lose less but never gain.
+        res = ablations.run_no_hierarchy(runner=rn, benchmarks=("needle", "pcr", "bfs"))
+        needle = res.row("needle")
+        assert needle.extra["mrf_reads_without"] > 2 * needle.extra["mrf_reads_with"]
+        for row in res.rows:
+            assert row.extra["mrf_reads_without"] >= row.extra["mrf_reads_with"]
+
+    def test_conflicts_increase_without_hierarchy(self, rn):
+        res = ablations.run_no_hierarchy(runner=rn, benchmarks=("needle",))
+        row = res.row("needle")
+        assert row.extra["conflicts_without"] > row.extra["conflicts_with"]
+
+    def test_format(self, rn):
+        res = ablations.run_no_hierarchy(runner=rn, benchmarks=("needle",))
+        assert "hierarchy" in res.format()
+
+
+class TestBarrierLatencyAblation:
+    def test_full_occupancy_kernels_insensitive(self, rn):
+        res = ablations.run_barrier_latency(
+            runner=rn, benchmarks=("matrixmul",), latencies=(0, 96)
+        )
+        assert abs(res.row("matrixmul").delta) < 0.05
+
+
+class TestGating:
+    def test_gated_energy_never_worse_than_unified(self, rn):
+        res = gating.run(runner=rn, benchmarks=("bfs", "vectoradd", "needle"))
+        for row in res.rows:
+            assert row.gated_energy <= row.unified_energy + 1e-9
+        assert res.mean_gated_energy < res.mean_unified_energy
+
+    def test_chosen_capacity_within_grid(self, rn):
+        res = gating.run(runner=rn, benchmarks=("nn",))
+        assert res.row("nn").chosen_kb in gating.CAPACITY_GRID_KB
+
+    def test_format(self, rn):
+        res = gating.run(runner=rn, benchmarks=("bfs",))
+        assert "Power-gating" in res.format()
+
+
+class TestOrfSizeAblation:
+    def test_knee_at_four_entries(self, rn):
+        res = ablations.run_orf_size(runner=rn, benchmarks=("needle",))
+        reads = res.row("needle").extra["mrf_reads"]
+        assert reads[1] > reads[4]  # growing the ORF cuts MRF traffic...
+        assert reads[4] == reads[8]  # ...with nothing left beyond 4 (needle)
+
+    def test_monotone_nonincreasing(self, rn):
+        res = ablations.run_orf_size(runner=rn, benchmarks=("pcr", "sgemv"))
+        for row in res.rows:
+            reads = [row.extra["mrf_reads"][s] for s in (1, 2, 4, 8)]
+            assert reads == sorted(reads, reverse=True)
+
+
+class TestCacheAssociativityAblation:
+    def test_direct_mapped_never_faster(self, rn):
+        res = ablations.run_cache_associativity(
+            runner=rn, benchmarks=("gpu-mummer", "bfs")
+        )
+        for row in res.rows:
+            assert row.delta <= 0.001  # 4-way <= 1-way runtime
+            misses = row.extra["read_misses"]
+            assert misses[4] <= misses[1]

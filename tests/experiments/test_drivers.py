@@ -1,0 +1,141 @@
+"""Structural tests for the experiment drivers (tiny scale, subsets)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    table1,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.runner import Runner
+
+
+@pytest.fixture(scope="module")
+def rn():
+    return Runner("tiny")
+
+
+class TestTable1:
+    def test_rows_and_format(self, rn):
+        res = table1.run(runner=rn, benchmarks=["vectoradd", "dgemm"])
+        assert len(res.rows) == 2
+        row = res.row("dgemm")
+        assert row.regs_per_thread == 57
+        # Spill overhead decreases monotonically with more registers.
+        assert list(row.spill_overhead) == sorted(row.spill_overhead, reverse=True)
+        assert row.spill_overhead[-1] == 1.0
+        assert row.rf_full_occupancy_kb == 228
+        assert "Table 1" in res.format()
+
+    def test_dram_normalised_to_largest_cache(self, rn):
+        res = table1.run(runner=rn, benchmarks=["vectoradd"])
+        row = res.row("vectoradd")
+        assert row.dram_normalized[-1] == 1.0
+        # Streaming kernel: ~4x accesses uncached (sector vs line).
+        assert row.dram_normalized[0] > 2.0
+
+
+class TestFigure2:
+    def test_normalisation_and_spill_penalty(self, rn):
+        res = figure2.run(runner=rn, benchmarks=("dgemm",))
+        ref = res.point("dgemm", 64, 1024)
+        assert ref.normalized_perf == pytest.approx(1.0)
+        spilled = res.point("dgemm", 18, 1024)
+        if not math.isnan(spilled.normalized_perf):
+            assert spilled.normalized_perf < ref.normalized_perf
+
+
+class TestFigure3:
+    def test_needle_line_monotone_smem(self, rn):
+        res = figure3.run(runner=rn, benchmarks=("needle",))
+        line = res.line("needle")
+        assert len(line) >= 2
+        smems = [p.smem_kb for p in line]
+        assert smems == sorted(smems)
+        assert "Figure 3" in res.format()
+
+
+class TestFigure4:
+    def test_lines_per_thread_count(self, rn):
+        res = figure4.run(runner=rn, benchmarks=("bfs",), thread_lines=(256, 1024))
+        for t in (256, 1024):
+            line = res.line("bfs", t)
+            assert [p.cache_kb for p in line] == list(figure4.CACHE_POINTS_KB)
+        # DRAM accesses never increase with a bigger cache.
+        for t in (256, 1024):
+            drams = [p.dram_accesses for p in res.line("bfs", t)]
+            assert drams == sorted(drams, reverse=True)
+
+
+class TestTable4:
+    def test_within_five_percent_of_paper(self):
+        res = table4.run()
+        assert res.max_relative_error() < 0.05
+        assert "Table 4" in res.format()
+
+
+class TestTable5:
+    def test_fractions_sum_to_one(self, rn):
+        res = table5.run(runner=rn, benchmarks=("vectoradd", "aes"))
+        for hist in (res.partitioned, res.unified):
+            assert sum(hist.fractions().values()) == pytest.approx(1.0)
+        assert "Table 5" in res.format()
+
+
+class TestFigure7:
+    def test_rows_cover_requested_benchmarks(self, rn):
+        res = figure7.run(runner=rn, benchmarks=("vectoradd", "nn"))
+        assert {r.name for r in res.rows} == {"vectoradd", "nn"}
+        assert res.mean_perf == pytest.approx(1.0, abs=0.05)
+
+
+class TestFigure8:
+    def test_partitions_sum_to_total(self, rn):
+        res = figure8.run(runner=rn, benchmarks=("bfs", "dgemm"))
+        for row in res.rows:
+            assert row.rf_kb + row.smem_kb + row.cache_kb == pytest.approx(384)
+        assert res.row("bfs").rf_kb == pytest.approx(36)
+        assert res.row("dgemm").rf_kb == pytest.approx(228)
+
+
+class TestFigure9:
+    def test_speedups_positive(self, rn):
+        res = figure9.run(runner=rn, benchmarks=("needle",))
+        assert res.row("needle").speedup > 0
+        assert "Figure 9" in res.format()
+
+
+class TestFigure10:
+    def test_fermi_choice_recorded(self, rn):
+        res = figure10.run(runner=rn, benchmarks=("bfs",))
+        row = res.row("bfs")
+        assert (row.chosen_smem_kb, row.chosen_cache_kb) in {(96, 32), (32, 96)}
+
+
+class TestTable6:
+    def test_capacity_columns(self, rn):
+        res = table6.run(runner=rn, benchmarks=("bfs",), no_benefit=("vectoradd",))
+        row = res.row("bfs")
+        assert len(row.perf) == len(table6.CAPACITIES_KB)
+        avg = res.row("no-benefit avg")
+        assert avg.perf[2] == pytest.approx(1.0, abs=0.05)
+
+
+class TestFigure11:
+    def test_lines_and_best(self, rn):
+        res = figure11.run(runner=rn, thread_points=(64, 128, 256))
+        assert res.line(16) and res.line(32)
+        best_small = res.best(max_smem_kb=20)
+        assert best_small.blocking_factor == 16  # only bf16 fits tiny scratch
+        assert "Figure 11" in res.format()

@@ -1,0 +1,66 @@
+"""Tests for ASCII plotting and the validation scorecard."""
+
+import pytest
+
+from repro.experiments import figure4, figure11, plots, validate
+from repro.experiments.runner import Runner
+
+
+@pytest.fixture(scope="module")
+def rn():
+    return Runner("tiny")
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = plots.ascii_plot(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=20,
+            height=5,
+            title="T",
+            x_label="x",
+            y_label="y",
+        )
+        assert "T" in out
+        assert "o a" in out and "x b" in out
+        assert "(y: y)" in out
+        # Grid rows plus axes and legend.
+        assert len(out.splitlines()) >= 8
+
+    def test_extremes_mapped_to_corners(self):
+        out = plots.ascii_plot({"s": [(0, 0), (10, 5)]}, width=10, height=4)
+        lines = out.splitlines()
+        assert lines[0].endswith("o")  # max y, max x: top-right
+        assert "o" in lines[3]  # min point on the bottom row
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            plots.ascii_plot({})
+
+    def test_constant_series_does_not_crash(self):
+        out = plots.ascii_plot({"flat": [(0, 1), (1, 1), (2, 1)]})
+        assert "o" in out
+
+    def test_figure_helpers(self, rn):
+        f4 = figure4.run(runner=rn, benchmarks=("bfs",), thread_lines=(256, 1024))
+        assert "cache KB" in plots.plot_figure4(f4, "bfs")
+        f11 = figure11.run(runner=rn, thread_points=(64, 128))
+        assert "blocking factors" in plots.plot_figure11(f11)
+
+
+class TestScorecard:
+    def test_tiny_scorecard_structure(self, rn):
+        card = validate.run(runner=rn)
+        assert len(card.checks) == 11
+        assert "scorecard" in card.format()
+        # The capacity-independent checks must hold even at tiny scale.
+        by_claim = {c.claim: c for c in card.checks}
+        assert by_claim["SRAM energies match Table 4"].passed
+        assert by_claim["bfs allocates the smallest RF"].passed
+        assert by_claim["dgemm allocates the largest RF"].passed
+
+    def test_score_string(self, rn):
+        card = validate.run(runner=rn)
+        done, total = card.score.split("/")
+        assert int(total) == 11
+        assert 0 <= int(done) <= 11

@@ -1,0 +1,71 @@
+"""Unit tests for the experiment runner cache and table formatting."""
+
+import pytest
+
+from repro.core import partitioned_baseline
+from repro.experiments.report import format_table, geomean
+from repro.experiments.runner import Runner
+
+
+class TestRunnerCaching:
+    def test_traces_cached_per_params(self):
+        rn = Runner("tiny")
+        a = rn.trace("needle")
+        b = rn.trace("needle")
+        assert a is b
+        c = rn.trace("needle", blocking_factor=16)
+        assert c is not a
+
+    def test_compiled_cached_per_register_budget(self):
+        rn = Runner("tiny")
+        assert rn.compiled("pcr") is rn.compiled("pcr")
+        assert rn.compiled("pcr", regs=18) is not rn.compiled("pcr")
+
+    def test_simulations_cached_per_partition(self):
+        rn = Runner("tiny")
+        a = rn.baseline("vectoradd")
+        b = rn.simulate("vectoradd", partitioned_baseline())
+        assert a is b
+
+    def test_no_spill_regs_matches_table1(self):
+        rn = Runner("tiny")
+        assert rn.no_spill_regs("dgemm") == 57
+        assert rn.no_spill_regs("bfs") == 9
+
+    def test_unified_returns_allocation(self):
+        rn = Runner("tiny")
+        result, alloc = rn.unified("bfs", total_kb=256)
+        assert alloc.partition.total_bytes == 256 * 1024
+        assert result.partition is alloc.partition
+
+    def test_priced_uses_baseline_runtime(self):
+        rn = Runner("tiny")
+        base = rn.baseline("vectoradd")
+        uni, _ = rn.unified("vectoradd")
+        run = rn.priced(uni, baseline=base)
+        assert run.energy.core_dynamic_j == pytest.approx(
+            1.9 * base.cycles * 1e-9
+        )
+
+
+class TestReport:
+    def test_alignment_and_floats(self):
+        out = format_table(["name", "x"], [["a", 1.234], ["bb", 10.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.23" in out and "10.00" in out
+        # Right-aligned numeric column.
+        assert lines[-1].endswith("10.00")
+
+    def test_short_rows_padded(self):
+        out = format_table(["a", "b", "c"], [["x"]])
+        assert out  # must not raise
+
+    def test_empty_table(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        assert geomean([2.0, 0.0]) == pytest.approx(2.0)  # non-positive dropped

@@ -1,0 +1,40 @@
+"""Golden regression pins.
+
+Exact tiny-scale cycle and DRAM-access counts for representative
+benchmarks under the baseline and the 384 KB unified design.  The
+simulator is fully deterministic, so these must match to the cycle; a
+deliberate model change should update them consciously (and re-check
+EXPERIMENTS.md), while an accidental behavioural change fails here
+first.
+"""
+
+import pytest
+
+from repro.experiments.runner import Runner
+
+#: (benchmark, baseline cycles, baseline DRAM accesses, unified cycles)
+GOLDEN = [
+    ("vectoradd", 6369, 384, 6369),
+    ("needle", 15988, 384, 15964),
+    ("dgemm", 27902, 1092, 27902),
+    ("bfs", 20663, 3833, 20671),
+    ("pcr", 3852, 176, 3848),
+    ("aes", 7919, 264, 7907),
+]
+
+
+@pytest.fixture(scope="module")
+def rn():
+    return Runner("tiny")
+
+
+@pytest.mark.parametrize("name,base_cycles,base_dram,uni_cycles", GOLDEN)
+def test_golden(name, base_cycles, base_dram, uni_cycles, rn):
+    base = rn.baseline(name)
+    assert base.cycles == base_cycles, (
+        f"{name}: baseline cycles moved {base_cycles} -> {base.cycles:.0f}; "
+        "if the model change is intentional, refresh GOLDEN and EXPERIMENTS.md"
+    )
+    assert base.dram_accesses == base_dram
+    uni, _ = rn.unified(name)
+    assert uni.cycles == uni_cycles

@@ -1,0 +1,78 @@
+"""Unit tests for the WarpBuilder construction API."""
+
+import pytest
+
+from repro.isa import OpClass, WarpBuilder
+from repro.isa.trace import WARP_SIZE
+
+
+class TestValueNumbering:
+    def test_fresh_registers_are_sequential(self):
+        b = WarpBuilder()
+        v0 = b.iconst()
+        v1 = b.alu(v0)
+        v2 = b.sfu(v1)
+        assert (v0, v1, v2) == (0, 1, 2)
+        assert b.num_vregs == 3
+
+    def test_alu_into_reuses_destination(self):
+        b = WarpBuilder()
+        acc = b.iconst()
+        x = b.iconst()
+        out = b.alu_into(acc, x)
+        assert out == acc
+        op = b.ops[-1]
+        assert op.dst == acc
+        assert acc in op.srcs and x in op.srcs
+        assert b.num_vregs == 2  # no fresh register allocated
+
+
+class TestEmission:
+    def test_load_returns_value_with_addresses(self):
+        b = WarpBuilder()
+        a = b.iconst()
+        addrs = [128 + 4 * t for t in range(WARP_SIZE)]
+        v = b.load_global(addrs, a)
+        op = b.ops[-1]
+        assert op.op is OpClass.LOAD_GLOBAL
+        assert op.dst == v
+        assert op.srcs == (a,)
+        assert op.addrs == tuple(addrs)
+
+    def test_store_has_no_destination(self):
+        b = WarpBuilder()
+        v = b.iconst()
+        b.store_shared(range(0, 4 * WARP_SIZE, 4), v)
+        op = b.ops[-1]
+        assert op.op is OpClass.STORE_SHARED
+        assert op.dst is None
+
+    def test_barrier(self):
+        b = WarpBuilder()
+        b.barrier()
+        assert b.ops[-1].op is OpClass.BARRIER
+
+    def test_partial_active_mask_truncates_addresses(self):
+        b = WarpBuilder()
+        addrs = [4 * t for t in range(WARP_SIZE)]
+        b.load_global(addrs, active=5)
+        op = b.ops[-1]
+        assert op.active == 5
+        assert op.addrs == tuple(addrs[:5])
+
+    def test_builder_level_active_mask(self):
+        b = WarpBuilder(active=8)
+        v = b.alu()
+        assert b.ops[-1].active == 8
+        b.store_global([4 * t for t in range(8)], v)
+        assert b.ops[-1].active == 8
+
+    def test_invalid_active_rejected(self):
+        with pytest.raises(ValueError):
+            WarpBuilder(active=0)
+
+    def test_touch_consumes_values(self):
+        b = WarpBuilder()
+        pool = [b.iconst() for _ in range(4)]
+        b.touch(*pool)
+        assert set(b.ops[-1].srcs) == set(pool)

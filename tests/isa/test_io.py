@@ -1,0 +1,64 @@
+"""Round-trip tests for trace serialization."""
+
+import pytest
+
+from repro.isa.io import load_trace, save_trace
+from repro.kernels import get_benchmark
+
+
+def _traces_equal(a, b) -> bool:
+    if (a.name, a.launch, a.uses_texture) != (b.name, b.launch, b.uses_texture):
+        return False
+    for ca, cb in zip(a.ctas, b.ctas):
+        if ca.warps != cb.warps:
+            return False
+    return True
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["vectoradd", "needle", "bfs", "bicubictexture"])
+    def test_lossless(self, name, tmp_path):
+        trace = get_benchmark(name).build("tiny")
+        path = tmp_path / f"{name}.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert _traces_equal(trace, loaded)
+        assert loaded.total_ops == trace.total_ops
+
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        from repro.compiler import compile_kernel
+        from repro.core import partitioned_baseline
+        from repro.sm import simulate
+
+        trace = get_benchmark("pcr").build("tiny")
+        path = tmp_path / "pcr.npz"
+        save_trace(trace, path)
+        a = simulate(compile_kernel(trace), partitioned_baseline())
+        b = simulate(compile_kernel(load_trace(path)), partitioned_baseline())
+        assert a.cycles == b.cycles
+        assert a.dram_accesses == b.dram_accesses
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        trace = get_benchmark("vectoradd").build("tiny")
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        meta = json.loads(bytes(arrays["meta"]).decode())
+        meta["version"] = 99
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_compression_is_effective(self, tmp_path):
+        # The flattened arrays compress far below a naive pickle.
+        trace = get_benchmark("srad").build("tiny")
+        path = tmp_path / "srad.npz"
+        save_trace(trace, path)
+        # ~11k ops with 32 addresses each; compressed file stays small.
+        assert path.stat().st_size < 600_000

@@ -1,0 +1,63 @@
+"""Unit tests for the instruction-class taxonomy."""
+
+import pytest
+
+from repro.isa import MemSpace, OpClass
+
+
+class TestMemoryClassification:
+    def test_loads_are_memory(self):
+        for op in (OpClass.LOAD_GLOBAL, OpClass.LOAD_SHARED, OpClass.LOAD_LOCAL):
+            assert op.is_memory
+            assert op.is_load
+            assert not op.is_store
+
+    def test_stores_are_memory(self):
+        for op in (OpClass.STORE_GLOBAL, OpClass.STORE_SHARED, OpClass.STORE_LOCAL):
+            assert op.is_memory
+            assert op.is_store
+            assert not op.is_load
+
+    def test_non_memory_ops(self):
+        for op in (OpClass.ALU, OpClass.SFU, OpClass.TEX, OpClass.BARRIER, OpClass.EXIT):
+            assert not op.is_memory
+            assert not op.is_load
+            assert not op.is_store
+            assert op.space is None
+
+    def test_spaces(self):
+        assert OpClass.LOAD_GLOBAL.space is MemSpace.GLOBAL
+        assert OpClass.STORE_GLOBAL.space is MemSpace.GLOBAL
+        assert OpClass.LOAD_SHARED.space is MemSpace.SHARED
+        assert OpClass.STORE_SHARED.space is MemSpace.SHARED
+        assert OpClass.LOAD_LOCAL.space is MemSpace.LOCAL
+        assert OpClass.STORE_LOCAL.space is MemSpace.LOCAL
+
+
+class TestLongLatency:
+    """The two-level scheduler deschedules on these ops (paper Section 2.1)."""
+
+    def test_global_and_texture_are_long_latency(self):
+        assert OpClass.LOAD_GLOBAL.is_long_latency
+        assert OpClass.STORE_GLOBAL.is_long_latency
+        assert OpClass.TEX.is_long_latency
+
+    def test_local_spill_traffic_is_long_latency(self):
+        # Spills go through the global memory path.
+        assert OpClass.LOAD_LOCAL.is_long_latency
+        assert OpClass.STORE_LOCAL.is_long_latency
+
+    def test_shared_memory_is_short_latency(self):
+        # Shared memory is the low-latency scratchpad; it does not trigger
+        # a deschedule.
+        assert not OpClass.LOAD_SHARED.is_long_latency
+        assert not OpClass.STORE_SHARED.is_long_latency
+
+    def test_alu_sfu_are_short_latency(self):
+        assert not OpClass.ALU.is_long_latency
+        assert not OpClass.SFU.is_long_latency
+
+
+@pytest.mark.parametrize("op", list(OpClass))
+def test_values_unique_and_stable(op):
+    assert OpClass(op.value) is op

@@ -1,0 +1,92 @@
+"""Tests for the irregular extension suite and its study."""
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.experiments import irregular
+from repro.isa import OpClass
+from repro.kernels.irregular import all_irregular, get_irregular
+
+
+class TestRegistry:
+    def test_four_workloads(self):
+        assert {w.name for w in all_irregular()} == {
+            "collatz",
+            "binsearch",
+            "spmv",
+            "hashprobe",
+        }
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown irregular"):
+            get_irregular("nope")
+
+
+@pytest.mark.parametrize("name", ["collatz", "binsearch", "spmv", "hashprobe"])
+class TestTraces:
+    def test_builds_and_diverges(self, name):
+        trace = get_irregular(name).build("tiny")
+        assert trace.total_ops > 0
+        actives = {op.active for op in trace.iter_ops()}
+        assert min(actives) < 32, "irregular workload never diverged"
+
+    def test_no_shared_memory_small_registers(self, name):
+        trace = get_irregular(name).build("tiny")
+        assert trace.launch.smem_bytes_per_cta == 0
+        ck = compile_kernel(trace)
+        assert ck.regs_per_thread <= 20
+
+    def test_deterministic(self, name):
+        a = get_irregular(name).build("tiny")
+        b = get_irregular(name).build("tiny")
+        assert a.total_ops == b.total_ops
+        assert list(a.iter_ops())[:40] == list(b.iter_ops())[:40]
+
+
+class TestDataDependence:
+    def test_binsearch_reads_the_table(self):
+        trace = get_irregular("binsearch").build("tiny")
+        from repro.kernels.irregular.workloads import _TABLE
+
+        table_reads = sum(
+            1
+            for op in trace.iter_ops()
+            if op.op is OpClass.LOAD_GLOBAL
+            and all(_TABLE <= a < _TABLE + (1 << 24) for a in op.addrs)
+        )
+        assert table_reads > 0
+
+    def test_hashprobe_chain_lengths_vary(self):
+        # Different warps should execute different numbers of probe ops.
+        trace = get_irregular("hashprobe").build("tiny")
+        per_warp = [len(w) for cta in trace.ctas for w in cta.warps]
+        assert len(set(per_warp)) > 1
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # The small scale sizes the working sets to straddle the
+        # 64 KB -> 344 KB cache window; at tiny everything fits 64 KB
+        # and (correctly) nothing benefits.
+        return irregular.run("small")
+
+    def test_cache_hungry_workloads_benefit(self, result):
+        # The memory-bound irregular kernels must gain; collatz is
+        # compute-bound and must not be hurt.
+        assert result.row("binsearch").speedup > 1.1
+        assert result.row("hashprobe").speedup >= 1.0
+        assert result.row("collatz").speedup == pytest.approx(1.0, abs=0.02)
+
+    def test_allocator_converts_pool_to_cache(self, result):
+        for row in result.rows:
+            assert row.unified_cache_kb > 300
+
+    def test_dram_never_increases(self, result):
+        for row in result.rows:
+            assert row.dram_ratio <= 1.01
+
+    def test_format(self, result):
+        text = result.format()
+        assert "irregular workloads" in text
+        assert "spmv" in text

@@ -1,0 +1,56 @@
+"""Tests for the suffix-trie substrate behind gpu-mummer."""
+
+import numpy as np
+
+from repro.kernels.mummer import _Trie
+
+
+def _ref(n=256, seed=7):
+    return np.random.default_rng(seed).integers(0, 4, size=n, dtype=np.int8)
+
+
+class TestTrieConstruction:
+    def test_root_exists(self):
+        trie = _Trie(_ref(), max_nodes=100)
+        assert len(trie.children) >= 1
+        assert len(trie.children[0]) == 4
+
+    def test_node_cap_respected(self):
+        trie = _Trie(_ref(1024), max_nodes=50)
+        assert len(trie.children) <= 50
+
+    def test_children_are_valid_indices(self):
+        trie = _Trie(_ref(), max_nodes=500)
+        n = len(trie.children)
+        for node in trie.children:
+            for c in node:
+                assert c == -1 or 0 <= c < n
+
+    def test_reference_substrings_walk_without_root_resets(self):
+        # A trie built from the reference must contain its substrings
+        # (up to the insertion depth), so an exact substring's walk never
+        # resets -- provided the node budget was not exhausted.
+        ref = _ref(64)
+        trie = _Trie(ref, max_nodes=100000)
+        path = trie.walk(ref[10:20])
+        assert len(path) == 11
+        assert 0 not in path[1:]  # never bounced back to the root
+
+
+class TestWalk:
+    def test_walk_length(self):
+        trie = _Trie(_ref(), max_nodes=1000)
+        q = np.array([0, 1, 2, 3, 0, 1], dtype=np.int8)
+        assert len(trie.walk(q)) == 7
+
+    def test_mismatch_restarts_at_root(self):
+        ref = np.zeros(32, dtype=np.int8)  # all 'A': only A-paths exist
+        trie = _Trie(ref, max_nodes=1000)
+        q = np.array([0, 0, 3, 0], dtype=np.int8)  # 'AACA'
+        path = trie.walk(q)
+        assert path[3] == 0  # the 'C' has no edge: reset
+
+    def test_walk_deterministic(self):
+        trie = _Trie(_ref(), max_nodes=1000)
+        q = _ref(16, seed=3)
+        assert trie.walk(q) == trie.walk(q)

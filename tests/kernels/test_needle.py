@@ -1,0 +1,78 @@
+"""Needle-specific tests: blocking factors, footprints, wavefront shape."""
+
+import pytest
+
+from repro.isa import OpClass
+from repro.kernels.needle import build, smem_bytes_for
+
+
+class TestSmemFootprint:
+    def test_bf32_matches_table1_within_padding(self):
+        # Paper: 264.1 B/thread at bf=32; our padded pitch gives ~268.
+        per_thread = smem_bytes_for(32) / 32
+        assert per_thread == pytest.approx(264.1, rel=0.02)
+
+    def test_quadratic_growth(self):
+        # Doubling the blocking factor roughly quadruples the footprint
+        # (Section 3.2: "increase the shared memory requirements
+        # quadratically").
+        assert smem_bytes_for(64) / smem_bytes_for(32) == pytest.approx(4, rel=0.1)
+        assert smem_bytes_for(32) / smem_bytes_for(16) == pytest.approx(4, rel=0.1)
+
+
+class TestBlockingFactors:
+    @pytest.mark.parametrize("bf", [16, 32, 64])
+    def test_buildable(self, bf):
+        trace = build("tiny", blocking_factor=bf)
+        assert trace.launch.smem_bytes_per_cta == smem_bytes_for(bf)
+        # One CTA per matrix sub-block.
+        assert trace.launch.num_ctas == (64 // bf) ** 2
+
+    def test_bf64_uses_two_warps(self):
+        trace = build("tiny", blocking_factor=64)
+        assert trace.launch.warps_per_cta == 2
+
+    def test_bf16_uses_half_warps(self):
+        trace = build("tiny", blocking_factor=16)
+        assert trace.launch.threads_per_cta == 32
+        actives = {op.active for cta in trace.ctas for w in cta.warps for op in w}
+        assert max(actives) == 16
+
+    def test_invalid_bf_rejected(self):
+        with pytest.raises(ValueError, match="blocking_factor"):
+            build("tiny", blocking_factor=48)
+
+
+class TestWavefrontStructure:
+    def test_barrier_per_wavefront_step(self):
+        bf = 32
+        trace = build("tiny", blocking_factor=bf)
+        warp = trace.ctas[0].warps[0]
+        barriers = sum(1 for op in warp if op.op is OpClass.BARRIER)
+        # One staging barrier plus one per anti-diagonal step.
+        assert barriers == 1 + (2 * bf - 1)
+
+    def test_wavefront_width_varies(self):
+        trace = build("tiny", blocking_factor=32)
+        warp = trace.ctas[0].warps[0]
+        shared_loads = [op for op in warp if op.op is OpClass.LOAD_SHARED]
+        widths = {op.active for op in shared_loads}
+        assert 1 in widths  # the first/last diagonal is one cell wide
+        assert 32 in widths  # the middle diagonal covers the block
+
+    def test_diagonal_reads_are_bank_conflict_free(self):
+        # The padded pitch must keep anti-diagonal reads spread across
+        # banks (the Rodinia padding trick).
+        from repro.core import partitioned_baseline
+        from repro.memory import PartitionedBanks
+        from repro.compiler import compile_kernel
+        from repro.isa.opcodes import MemSpace
+
+        ck = compile_kernel(build("tiny", blocking_factor=32))
+        banks = PartitionedBanks(partitioned_baseline())
+        worst = 0
+        for w in ck.ctas[0].warps:
+            for op in w.ops:
+                if op.op.space is MemSpace.SHARED:
+                    worst = max(worst, banks.access(op).penalty)
+        assert worst <= 2

@@ -1,0 +1,104 @@
+"""Unit tests for the shared warp-level code patterns."""
+
+from repro.isa import OpClass, WarpBuilder
+from repro.kernels.base import broadcast, coalesced, region
+from repro.kernels.patterns import (
+    alu_chain,
+    compute_block,
+    smem_tree_reduce,
+    stream_mac,
+    tile_to_smem,
+)
+
+
+class TestAddressHelpers:
+    def test_coalesced_is_unit_stride(self):
+        addrs = coalesced(1 << 24, 10)
+        assert addrs == [(1 << 24) + 4 * (10 + t) for t in range(32)]
+
+    def test_broadcast_is_one_address(self):
+        assert len(set(broadcast(0, 7))) == 1
+
+    def test_regions_disjoint(self):
+        assert region(1) - region(0) == 1 << 24
+        for i in range(5):
+            assert region(i) < region(i + 1)
+
+
+class TestStreamMac:
+    def test_ops_per_iteration(self):
+        b = WarpBuilder()
+        stream_mac(b, [region(0), region(1)], 0, iters=5)
+        loads = sum(1 for op in b.ops if op.op is OpClass.LOAD_GLOBAL)
+        assert loads == 10  # two arrays x five iterations
+
+    def test_accumulator_threads_through(self):
+        b = WarpBuilder()
+        acc = stream_mac(b, [region(0)], 0, iters=3)
+        macs = [op for op in b.ops if op.op is OpClass.ALU and acc in op.srcs]
+        assert len(macs) >= 3
+
+    def test_extra_alu(self):
+        b = WarpBuilder()
+        stream_mac(b, [region(0)], 0, iters=2, extra_alu=3)
+        alus = sum(1 for op in b.ops if op.op is OpClass.ALU)
+        assert alus >= 2 * (1 + 3)
+
+
+class TestTileToSmem:
+    def test_pairs_rows(self):
+        b = WarpBuilder()
+        tile_to_smem(b, region(0), 0, 0, rows=4)
+        kinds = [op.op for op in b.ops]
+        assert kinds.count(OpClass.LOAD_GLOBAL) == 4
+        assert kinds.count(OpClass.STORE_SHARED) == 4
+
+    def test_shared_addresses_contiguous(self):
+        b = WarpBuilder()
+        tile_to_smem(b, region(0), 0, 256, rows=2)
+        stores = [op for op in b.ops if op.op is OpClass.STORE_SHARED]
+        assert stores[0].addrs[0] == 256
+        assert stores[1].addrs[0] == 256 + 128
+
+
+class TestSmemTreeReduce:
+    def test_barrier_count_independent_of_warp(self):
+        counts = set()
+        for warp in range(4):
+            b = WarpBuilder()
+            v = b.iconst()
+            smem_tree_reduce(b, 0, warp, 4, v)
+            counts.add(sum(1 for op in b.ops if op.op is OpClass.BARRIER))
+        assert len(counts) == 1  # CTA barrier safety
+
+    def test_log2_rounds(self):
+        b = WarpBuilder()
+        v = b.iconst()
+        smem_tree_reduce(b, 0, 0, 8, v)  # 256 threads -> 8 rounds
+        assert sum(1 for op in b.ops if op.op is OpClass.BARRIER) == 8
+
+    def test_upper_warps_predicate_off(self):
+        b = WarpBuilder()
+        v = b.iconst()
+        smem_tree_reduce(b, 0, 3, 4, v)  # warp 3 of 4
+        loads = [op for op in b.ops if op.op is OpClass.LOAD_SHARED]
+        # Warp 3 participates only while the stride covers its lanes.
+        assert len(loads) < 2 * 7
+
+
+class TestComputeBlock:
+    def test_op_budget(self):
+        b = WarpBuilder()
+        x = b.iconst()
+        compute_block(b, [x], alu_ops=6, sfu_ops=2)
+        assert sum(1 for op in b.ops if op.op is OpClass.SFU) == 2
+        assert sum(1 for op in b.ops if op.op is OpClass.ALU) >= 4
+
+    def test_alu_chain_is_dependent(self):
+        b = WarpBuilder()
+        v = b.iconst()
+        out = alu_chain(b, v, 5)
+        chain = [op for op in b.ops if op.op is OpClass.ALU and op.srcs]
+        for prev, nxt in zip(chain, chain[1:]):
+            assert prev.dst in nxt.srcs
+        assert out == chain[-1].dst

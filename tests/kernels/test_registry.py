@@ -1,0 +1,72 @@
+"""Tests for the benchmark registry against the paper's Table 1 facts."""
+
+import pytest
+
+from repro.kernels import (
+    BENEFIT_SET,
+    NO_BENEFIT_SET,
+    Category,
+    all_benchmarks,
+    benchmarks_in,
+    get_benchmark,
+)
+
+
+class TestSuiteComposition:
+    def test_twenty_six_benchmarks(self):
+        assert len(all_benchmarks()) == 26
+
+    def test_benefit_set_is_figure9(self):
+        # The eight Figure 9 benchmarks.
+        assert set(BENEFIT_SET) == {
+            "bfs",
+            "dgemm",
+            "lu",
+            "gpu-mummer",
+            "pcr",
+            "ray",
+            "srad",
+            "needle",
+        }
+
+    def test_no_benefit_set_is_figure7(self):
+        assert len(NO_BENEFIT_SET) == 18
+        assert set(NO_BENEFIT_SET) & set(BENEFIT_SET) == set()
+
+    def test_unique_names(self):
+        names = [bm.name for bm in all_benchmarks()]
+        assert len(names) == len(set(names))
+
+    def test_categories_cover_table1(self):
+        assert len(benchmarks_in(Category.SHARED_LIMITED)) == 3
+        assert len(benchmarks_in(Category.CACHE_LIMITED)) == 7
+        assert len(benchmarks_in(Category.REGISTER_LIMITED)) == 5
+        assert len(benchmarks_in(Category.BALANCED)) == 11
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("nosuch")
+
+    def test_lookup_by_name(self):
+        assert get_benchmark("needle").name == "needle"
+        assert get_benchmark("gpu-mummer").category is Category.CACHE_LIMITED
+
+
+class TestPaperMetadata:
+    def test_table6_data_only_on_benefit_set(self):
+        for bm in all_benchmarks():
+            assert bm.benefits == (bm.name in BENEFIT_SET)
+            if bm.benefits:
+                assert len(bm.paper_table6_perf) == 3
+                assert len(bm.paper_table6_energy) == 3
+
+    def test_needle_is_flagship(self):
+        needle = get_benchmark("needle")
+        assert needle.paper_speedup_384 == pytest.approx(1.71)
+        assert needle.paper_smem_bytes_per_thread == pytest.approx(264.1)
+
+    def test_dram_ratios_sane(self):
+        for bm in all_benchmarks():
+            uncached, at64 = bm.paper_dram
+            assert uncached >= 0.8  # needle's 0.85 is the smallest
+            assert at64 >= 0.99

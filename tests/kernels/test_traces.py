@@ -1,0 +1,86 @@
+"""Per-benchmark trace validity tests (parametrised over the suite).
+
+These check, for every benchmark at the tiny scale, the properties the
+experiments rely on: exact Table 1 register targets, declared
+shared-memory footprints, well-formed addresses, and barrier-safe CTAs
+(the CTATrace constructor enforces matching barrier counts).
+"""
+
+import pytest
+
+from repro.compiler import compile_kernel, max_live_registers
+from repro.compiler.pipeline import LOCAL_BASE
+from repro.isa.opcodes import MemSpace
+from repro.kernels import all_benchmarks, get_benchmark
+
+ALL_NAMES = [bm.name for bm in all_benchmarks()]
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {bm.name: bm.build("tiny") for bm in all_benchmarks()}
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryBenchmark:
+    def test_register_target_met_exactly(self, name, traces):
+        bm = get_benchmark(name)
+        trace = traces[name]
+        peak = max(max_live_registers(w) for cta in trace.ctas for w in cta.warps)
+        assert peak == bm.paper_regs
+
+    def test_shared_memory_per_thread_close_to_paper(self, name, traces):
+        bm = get_benchmark(name)
+        measured = traces[name].launch.smem_bytes_per_thread
+        if bm.paper_smem_bytes_per_thread == 0:
+            assert measured == 0
+        else:
+            assert measured == pytest.approx(bm.paper_smem_bytes_per_thread, rel=0.02)
+
+    def test_global_addresses_below_spill_region(self, name, traces):
+        for op in traces[name].iter_ops():
+            if op.op.space in (MemSpace.GLOBAL,):
+                assert all(0 <= a < LOCAL_BASE for a in op.addrs)
+
+    def test_shared_addresses_within_cta_allocation(self, name, traces):
+        trace = traces[name]
+        limit = trace.launch.smem_bytes_per_cta
+        for op in trace.iter_ops():
+            if op.op.space is MemSpace.SHARED:
+                assert all(0 <= a < limit for a in op.addrs), (
+                    f"{name}: shared address outside the {limit}-byte CTA allocation"
+                )
+
+    def test_texture_flag_consistent(self, name, traces):
+        from repro.isa import OpClass
+
+        uses_tex = any(op.op is OpClass.TEX for op in traces[name].iter_ops())
+        assert uses_tex == traces[name].uses_texture
+
+    def test_compiles_and_simulates_on_baseline(self, name, traces):
+        from repro.core import partitioned_baseline
+        from repro.sm import simulate
+
+        ck = compile_kernel(traces[name])
+        r = simulate(ck, partitioned_baseline())
+        assert r.cycles > 0
+        assert r.instructions == ck.total_ops
+
+    def test_deterministic_rebuild(self, name, traces):
+        rebuilt = get_benchmark(name).build("tiny")
+        first = traces[name]
+        assert rebuilt.total_ops == first.total_ops
+        a = [op for op in rebuilt.iter_ops()][:50]
+        c = [op for op in first.iter_ops()][:50]
+        assert a == c
+
+
+class TestScaleProgression:
+    @pytest.mark.parametrize("name", ["vectoradd", "needle", "pcr"])
+    def test_small_is_larger_than_tiny(self, name):
+        bm = get_benchmark(name)
+        assert bm.build("small").total_ops > bm.build("tiny").total_ops
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_benchmark("vectoradd").build("huge")

@@ -1,0 +1,220 @@
+"""Unit tests for the partitioned and unified bank-conflict models."""
+
+import pytest
+
+from repro.compiler.compiled import CompiledOp
+from repro.core import DesignStyle, MemoryPartition, partitioned_baseline
+from repro.core.partition import KB
+from repro.isa import OpClass
+from repro.memory import PartitionedBanks, UnifiedBanks, make_bank_model
+from repro.memory.banks import ClusterPortUnifiedBanks
+
+
+def unified_partition(rf_kb=256, smem_kb=64, cache_kb=64):
+    return MemoryPartition(
+        DesignStyle.UNIFIED,
+        rf_bytes=rf_kb * KB,
+        smem_bytes=smem_kb * KB,
+        cache_bytes=cache_kb * KB,
+    )
+
+
+def make_op(
+    op=OpClass.ALU,
+    mrf_reads=(),
+    addrs=None,
+    active=32,
+):
+    return CompiledOp(
+        op=op,
+        dst=None,
+        srcs=tuple(mrf_reads),
+        mrf_reads=tuple(mrf_reads),
+        mrf_writes=(),
+        lrf_reads=0,
+        orf_reads=0,
+        lrf_writes=0,
+        orf_writes=0,
+        addrs=tuple(addrs) if addrs is not None else None,
+        active=active,
+    )
+
+
+class TestPartitionedRegisterConflicts:
+    def test_two_registers_same_bank_conflict(self):
+        banks = PartitionedBanks(partitioned_baseline())
+        # Registers 0 and 4 both map to bank 0 (r % 4).
+        r = banks.access(make_op(mrf_reads=(0, 4)))
+        assert r.penalty == 1
+        assert r.max_bank_accesses == 2
+
+    def test_registers_in_distinct_banks_conflict_free(self):
+        banks = PartitionedBanks(partitioned_baseline())
+        r = banks.access(make_op(mrf_reads=(0, 1, 2, 3)))
+        assert r.penalty == 0
+        assert r.max_bank_accesses == 1
+
+    def test_no_mrf_operands_no_penalty(self):
+        banks = PartitionedBanks(partitioned_baseline())
+        r = banks.access(make_op())
+        assert r.penalty == 0
+        assert r.max_bank_accesses == 0
+
+
+class TestPartitionedSharedConflicts:
+    def _shared(self, addrs):
+        return make_op(OpClass.LOAD_SHARED, addrs=addrs, active=len(addrs))
+
+    def test_unit_stride_conflict_free(self):
+        banks = PartitionedBanks(partitioned_baseline())
+        r = banks.access(self._shared([4 * t for t in range(32)]))
+        assert r.penalty == 0
+
+    def test_broadcast_single_word(self):
+        banks = PartitionedBanks(partitioned_baseline())
+        r = banks.access(self._shared([64] * 32))
+        assert r.penalty == 0
+        assert r.max_bank_accesses == 1
+
+    def test_stride_128_serialises_on_one_bank(self):
+        banks = PartitionedBanks(partitioned_baseline())
+        r = banks.access(self._shared([128 * t for t in range(32)]))
+        assert r.penalty == 31
+        assert r.max_bank_accesses == 32
+
+    def test_two_way_conflict(self):
+        banks = PartitionedBanks(partitioned_baseline())
+        # Pairs of threads hit the same bank with different words
+        # (second half offset by a full 32-bank sweep of 128 bytes).
+        addrs = [(t % 16) * 4 + (t // 16) * 128 for t in range(32)]
+        r = banks.access(self._shared(addrs))
+        assert r.penalty == 1
+
+    def test_shared_base_rebasing_shifts_banks(self):
+        banks = PartitionedBanks(partitioned_baseline())
+        addrs = [128 * t for t in range(32)]
+        a = banks.access(self._shared(addrs))
+        b = banks.access(make_op(OpClass.LOAD_SHARED, addrs=addrs), shared_base=4)
+        # Rebasing cannot fix a stride-128 pattern; both fully conflict.
+        assert a.penalty == b.penalty == 31
+
+
+class TestPartitionedCachePath:
+    def test_single_line_access_free(self):
+        banks = PartitionedBanks(partitioned_baseline())
+        r = banks.access(
+            make_op(OpClass.LOAD_GLOBAL, addrs=[4 * t for t in range(32)]),
+            segments=[0],
+        )
+        assert r.penalty == 0
+        assert r.data_row_accesses == 8
+
+    def test_multi_line_serialises_on_tag_port(self):
+        banks = PartitionedBanks(partitioned_baseline())
+        r = banks.access(
+            make_op(OpClass.LOAD_GLOBAL, addrs=[128 * t for t in range(32)]),
+            segments=[128 * t for t in range(32)],
+        )
+        assert r.penalty == 31
+        assert r.data_row_accesses == 32 * 8
+
+    def test_register_and_memory_penalties_do_not_add(self):
+        # Separate structures: penalty is the max, not the sum.
+        banks = PartitionedBanks(partitioned_baseline())
+        r = banks.access(
+            make_op(OpClass.LOAD_GLOBAL, mrf_reads=(0, 4), addrs=[0] * 32),
+            segments=[0, 128],
+        )
+        assert r.penalty == 1
+
+
+class TestUnifiedShared:
+    def _shared(self, addrs):
+        return make_op(OpClass.LOAD_SHARED, addrs=addrs, active=len(addrs))
+
+    def test_unit_stride_coalesces_to_8_clusters(self):
+        banks = UnifiedBanks(unified_partition())
+        # 32 threads x 4B = 8 distinct 16-byte rows -> one per cluster.
+        r = banks.access(self._shared([4 * t for t in range(32)]))
+        assert r.penalty == 0
+        assert r.data_row_accesses == 8
+
+    def test_row_broadcast(self):
+        banks = UnifiedBanks(unified_partition())
+        r = banks.access(self._shared([0] * 32))
+        assert r.penalty == 0
+        assert r.data_row_accesses == 1
+
+    def test_same_bank_rows_serialise(self):
+        banks = UnifiedBanks(unified_partition())
+        # Stride 512B: every row lands in cluster 0, bank 0.
+        r = banks.access(self._shared([512 * t for t in range(32)]))
+        assert r.penalty == 31
+
+    def test_strict_cluster_port_serialises_across_banks(self):
+        # Stride 128B: rows rotate through cluster 0's four banks; the
+        # strict Section 4.2 port still serialises them, the default
+        # per-bank model lets the four banks work in parallel.
+        addrs = [128 * t for t in range(32)]
+        strict = ClusterPortUnifiedBanks(unified_partition())
+        assert strict.access(self._shared(addrs)).penalty == 31
+        relaxed = UnifiedBanks(unified_partition())
+        assert relaxed.access(self._shared(addrs)).penalty == 7
+
+    def test_sixteen_byte_stride(self):
+        # 32 distinct rows spread over all 32 banks: conflict-free in the
+        # paper's per-bank model, 4 cycles under the strict cluster port.
+        addrs = [16 * t for t in range(32)]
+        assert UnifiedBanks(unified_partition()).access(self._shared(addrs)).penalty == 0
+        strict = ClusterPortUnifiedBanks(unified_partition())
+        assert strict.access(self._shared(addrs)).penalty == 3
+
+
+class TestUnifiedArbitration:
+    def test_register_and_memory_same_bank_conflict(self):
+        banks = UnifiedBanks(unified_partition())
+        # A cache line at line index 0 occupies bank 0 in every cluster;
+        # register 0 and 4 also live in bank 0.
+        r = banks.access(
+            make_op(OpClass.LOAD_GLOBAL, mrf_reads=(0, 4), addrs=[0] * 32),
+            segments=[0],
+        )
+        # bank 0 sees: 2 register reads + 1 line access = 3 accesses.
+        assert r.penalty == 2
+        assert banks.arbitration_conflicts == 1
+
+    def test_register_and_memory_different_banks_free(self):
+        banks = UnifiedBanks(unified_partition())
+        # Line index 1 -> bank 1; registers 0, 4 -> bank 0.
+        r = banks.access(
+            make_op(OpClass.LOAD_GLOBAL, mrf_reads=(0, 4), addrs=[128] * 32),
+            segments=[128],
+        )
+        assert r.penalty == 1  # register conflict only
+        assert banks.arbitration_conflicts == 0
+
+    def test_histogram_records_all_accesses(self):
+        banks = UnifiedBanks(unified_partition())
+        banks.access(make_op(mrf_reads=(0, 1)))
+        banks.access(make_op(mrf_reads=(0, 4)))
+        banks.access(make_op())
+        h = banks.histogram
+        assert h.total == 3
+        assert h.at_most_1 == 2
+        assert h.exactly_2 == 1
+        f = h.fractions()
+        assert f["<=1"] == pytest.approx(2 / 3)
+
+
+class TestFactory:
+    def test_dispatch(self):
+        assert isinstance(make_bank_model(partitioned_baseline()), PartitionedBanks)
+        assert isinstance(make_bank_model(unified_partition()), UnifiedBanks)
+        assert isinstance(
+            make_bank_model(unified_partition(), cluster_port=True),
+            ClusterPortUnifiedBanks,
+        )
+
+    def test_unified_banks_reject_partitioned_layout(self):
+        with pytest.raises(ValueError, match="unified"):
+            UnifiedBanks(partitioned_baseline())

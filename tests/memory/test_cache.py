@@ -1,0 +1,106 @@
+"""Unit and property tests for the write-through data cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import DataCache
+
+KB = 1024
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = DataCache(64 * KB)
+        assert not c.read_line(0)
+        assert c.read_line(0)
+        assert c.stats.read_misses == 1
+        assert c.stats.read_hits == 1
+
+    def test_zero_capacity_always_misses(self):
+        c = DataCache(0)
+        assert not c.enabled
+        for _ in range(3):
+            assert not c.read_line(128)
+        assert c.stats.read_misses == 3
+        assert not c.contains(128)
+
+    def test_write_through_no_allocate(self):
+        c = DataCache(64 * KB)
+        assert not c.write_line(0)  # miss does not install
+        assert not c.contains(0)
+        assert not c.read_line(0)  # still a read miss
+        assert c.write_line(0)  # now a write hit
+        assert c.stats.write_hits == 1
+        assert c.stats.write_misses == 1
+
+    def test_capacity_and_sets(self):
+        c = DataCache(64 * KB, assoc=4, line_bytes=128)
+        assert c.num_sets == 128
+
+    def test_odd_capacity_supported(self):
+        # The unified allocator can leave any remainder as cache.
+        c = DataCache(52 * KB + 384)
+        assert c.enabled
+        assert c.num_sets == (52 * KB + 384) // 512
+
+
+class TestReplacement:
+    def test_lru_eviction_within_set(self):
+        # Direct-mapped-like tiny cache: 1 set, 4 ways.
+        c = DataCache(512, assoc=4, line_bytes=128)
+        assert c.num_sets == 1
+        for i in range(4):
+            c.read_line(i * 128)
+        assert c.resident_lines == 4
+        c.read_line(0)  # refresh line 0
+        c.read_line(4 * 128)  # evicts LRU = line 1
+        assert c.contains(0)
+        assert not c.contains(128)
+        assert c.contains(4 * 128)
+
+    def test_working_set_within_capacity_has_no_capacity_misses(self):
+        c = DataCache(16 * KB)
+        lines = [i * 128 for i in range(16 * KB // 128)]
+        for a in lines:
+            c.read_line(a)
+        for _ in range(3):
+            for a in lines:
+                assert c.read_line(a)
+
+    def test_flush(self):
+        c = DataCache(16 * KB)
+        c.read_line(0)
+        c.flush()
+        assert c.resident_lines == 0
+        assert not c.contains(0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(capacity_bytes=-1),
+            dict(capacity_bytes=1024, assoc=0),
+            dict(capacity_bytes=1024, line_bytes=0),
+        ],
+    )
+    def test_bad_args(self, kwargs):
+        with pytest.raises(ValueError):
+            DataCache(**kwargs)
+
+
+@given(
+    capacity_kb=st.sampled_from([0, 1, 4, 64]),
+    addrs=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300),
+)
+@settings(max_examples=60, deadline=None)
+def test_invariants(capacity_kb, addrs):
+    c = DataCache(capacity_kb * KB)
+    for a in addrs:
+        line = a - a % 128
+        c.read_line(line)
+        assert c.contains(line) == c.enabled  # a read always installs (if enabled)
+        assert c.resident_lines <= max(1, capacity_kb * KB // 128)
+    assert c.stats.reads == len(addrs)
+    assert 0.0 <= c.stats.hit_rate <= 1.0

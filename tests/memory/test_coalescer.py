@@ -1,0 +1,59 @@
+"""Unit and property tests for the memory coalescer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import coalesce_lines, coalesce_sectors
+from repro.memory.coalescer import sectors_in_line
+
+
+class TestLines:
+    def test_unit_stride_warp_is_one_line(self):
+        addrs = [4 * t for t in range(32)]
+        assert coalesce_lines(addrs) == [0]
+
+    def test_offset_unit_stride_spans_two_lines(self):
+        addrs = [64 + 4 * t for t in range(32)]
+        assert coalesce_lines(addrs) == [0, 128]
+
+    def test_strided_access_explodes(self):
+        addrs = [128 * t for t in range(32)]
+        assert len(coalesce_lines(addrs)) == 32
+
+    def test_same_address_broadcast(self):
+        assert coalesce_lines([1000] * 32) == [896]
+
+    def test_results_sorted_and_aligned(self):
+        addrs = [5000, 1, 120, 130, 127, 129]
+        lines = coalesce_lines(addrs)
+        assert lines == sorted(lines)
+        assert all(a % 128 == 0 for a in lines)
+
+
+class TestSectors:
+    def test_unit_stride_warp_is_four_sectors(self):
+        addrs = [4 * t for t in range(32)]
+        assert len(coalesce_sectors(addrs)) == 4
+
+    def test_sector_alignment(self):
+        assert coalesce_sectors([31, 32, 33]) == [0, 32]
+
+    def test_sectors_in_line(self):
+        assert sectors_in_line(0) == 4
+        with pytest.raises(ValueError):
+            sectors_in_line(0, line_bytes=100, sector_bytes=32)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 40), min_size=1, max_size=32))
+@settings(max_examples=100, deadline=None)
+def test_every_address_covered(addrs):
+    lines = coalesce_lines(addrs)
+    sectors = coalesce_sectors(addrs)
+    for a in addrs:
+        assert a - a % 128 in lines
+        assert a - a % 32 in sectors
+    # No more lines than distinct addresses, and sectors refine lines.
+    assert len(lines) <= len(set(addrs))
+    assert len(sectors) >= len(lines)
+    assert len(sectors) <= 4 * len(lines)

@@ -1,0 +1,83 @@
+"""Unit and property tests for the shared-memory allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import SharedMemoryFile
+
+KB = 1024
+
+
+class TestAllocation:
+    def test_uniform_cta_allocations(self):
+        f = SharedMemoryFile(64 * KB)
+        bases = [f.alloc(8 * KB) for _ in range(8)]
+        assert None not in bases
+        assert len(set(bases)) == 8
+        assert f.alloc(8 * KB) is None  # full
+        assert f.bytes_free == 0
+
+    def test_free_and_reuse(self):
+        f = SharedMemoryFile(16 * KB)
+        a = f.alloc(8 * KB)
+        b = f.alloc(8 * KB)
+        f.free(a)
+        c = f.alloc(8 * KB)
+        assert c == a
+        f.free(b)
+        f.free(c)
+        assert f.bytes_in_use == 0
+        # Coalescing: a full-capacity allocation must now succeed.
+        assert f.alloc(16 * KB) is not None
+
+    def test_zero_byte_allocation(self):
+        f = SharedMemoryFile(4 * KB)
+        assert f.alloc(0) == 0
+        assert f.bytes_in_use == 0
+
+    def test_zero_capacity_file(self):
+        f = SharedMemoryFile(0)
+        assert f.alloc(1) is None
+        assert f.alloc(0) == 0
+
+    def test_double_free_rejected(self):
+        f = SharedMemoryFile(4 * KB)
+        a = f.alloc(1 * KB)
+        f.free(a)
+        with pytest.raises(KeyError):
+            f.free(a)
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            SharedMemoryFile(4 * KB).alloc(-1)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SharedMemoryFile(-1)
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=4096)),
+        max_size=60,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_allocator_never_overlaps(operations):
+    f = SharedMemoryFile(16 * KB)
+    live: dict[int, int] = {}
+    for is_alloc, size in operations:
+        if is_alloc or not live:
+            base = f.alloc(size)
+            if base is not None:
+                # No overlap with any live allocation.
+                for b, s in live.items():
+                    assert base + size <= b or b + s <= base
+                live[base] = size
+        else:
+            base = sorted(live)[0]
+            f.free(base)
+            del live[base]
+    assert f.bytes_in_use == sum(live.values())
+    assert 0 <= f.bytes_free <= 16 * KB

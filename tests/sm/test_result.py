@@ -1,0 +1,53 @@
+"""Unit tests for SimResult accessors and error paths."""
+
+import pytest
+
+from repro.core import partitioned_baseline
+from repro.sm import simulate
+from tests.util import compiled, single_warp_kernel, warp_alu_independent, warp_streaming_loads
+
+
+@pytest.fixture(scope="module")
+def runs():
+    base = partitioned_baseline()
+    a = simulate(compiled(single_warp_kernel(warp_alu_independent(40), name="a")), base)
+    a2 = simulate(compiled(single_warp_kernel(warp_alu_independent(80), name="a")), base)
+    b = simulate(compiled(single_warp_kernel(warp_streaming_loads(4), name="b")), base)
+    return a, a2, b
+
+
+class TestComparisons:
+    def test_speedup_requires_same_kernel(self, runs):
+        a, _, b = runs
+        with pytest.raises(ValueError, match="different kernels"):
+            a.speedup_over(b)
+
+    def test_speedup_direction(self, runs):
+        a, a2, _ = runs
+        # a2 does twice the work: a is faster, so a.speedup_over(a2) > 1.
+        assert a.speedup_over(a2) > 1.0
+        assert a2.speedup_over(a) < 1.0
+
+    def test_dram_ratio_zero_baseline(self, runs):
+        a, a2, b = runs
+        assert a.dram_accesses == 0
+        assert a.dram_traffic_ratio(a2) == 1.0  # 0/0 -> no change
+        assert b.dram_traffic_ratio(a) == float("inf")
+
+    def test_ipc_bounds(self, runs):
+        for r in runs:
+            assert 0 < r.ipc <= 1.0  # single-issue SM
+
+
+class TestEnergyCounts:
+    def test_aggregates(self, runs):
+        _, _, b = runs
+        c = b.energy_counts
+        assert c.mrf_accesses == c.mrf_reads + c.mrf_writes
+        assert c.cache_rows == c.cache_row_reads + c.cache_row_writes
+        assert c.shared_rows == 0  # no shared ops in this kernel
+
+    def test_histogram_fractions_sum(self, runs):
+        for r in runs:
+            if r.conflict_histogram.total:
+                assert sum(r.conflict_histogram.fractions().values()) == pytest.approx(1.0)

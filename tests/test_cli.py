@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("needle", "dgemm", "vectoradd", "gpu-mummer"):
+            assert name in out
+
+
+class TestRun:
+    def test_unified_run_prints_allocation_and_comparison(self, capsys):
+        assert main(["run", "vectoradd", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "allocation:" in out
+        assert "speedup" in out
+
+    def test_baseline_run(self, capsys):
+        assert main(["run", "vectoradd", "--scale", "tiny", "--design", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "speedup" not in out  # nothing to compare against
+
+    def test_fermi_run(self, capsys):
+        assert main(["run", "bfs", "--scale", "tiny", "--design", "fermi"]) == 0
+        assert "fermi-like" in capsys.readouterr().out
+
+    def test_thread_and_reg_overrides(self, capsys):
+        assert main(
+            ["run", "pcr", "--scale", "tiny", "--threads", "256", "--regs", "24"]
+        ) == 0
+        assert "256 threads" in capsys.readouterr().out
+
+    def test_unknown_benchmark_errors(self):
+        with pytest.raises(KeyError):
+            main(["run", "nosuch", "--scale", "tiny"])
+
+
+class TestExperiment:
+    def test_table4(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        assert "SRAM bank access energy" in capsys.readouterr().out
+
+    def test_figure8(self, capsys):
+        assert main(["experiment", "figure8", "--scale", "tiny"]) == 0
+        assert "384KB unified memory partitioning" in capsys.readouterr().out
+
+    def test_unknown_id(self, capsys):
+        assert main(["experiment", "nosuch"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestAutotuneAndSweep:
+    def test_autotune(self, capsys):
+        assert main(["autotune", "vectoradd", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "best" in out
+        assert "gain over max-threads" in out
+
+    def test_sweep(self, capsys):
+        assert main(
+            ["sweep", "bfs", "--scale", "tiny", "--capacities", "128,384"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "128" in out and "384" in out
+
+    def test_sweep_reports_unfittable(self, capsys):
+        assert main(
+            ["sweep", "dgemm", "--scale", "tiny", "--capacities", "16,384"]
+        ) == 0
+        assert "does not fit" in capsys.readouterr().out

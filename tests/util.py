@@ -1,0 +1,65 @@
+"""Shared helpers for building small kernels in tests."""
+
+from __future__ import annotations
+
+from repro.compiler import compile_kernel
+from repro.isa import CTATrace, KernelTrace, LaunchConfig, WarpBuilder
+
+
+def warp_alu_chain(n: int):
+    """A fully dependent chain of n ALU ops (latency-bound)."""
+    b = WarpBuilder()
+    v = b.iconst()
+    for _ in range(n - 1):
+        v = b.alu(v)
+    return b.ops
+
+
+def warp_alu_independent(n: int):
+    """n independent ALU ops (issue-bound)."""
+    b = WarpBuilder()
+    for _ in range(n):
+        b.iconst()
+    return b.ops
+
+
+def warp_streaming_loads(n: int, base: int = 0, stride: int = 128):
+    """n coalesced global loads at consecutive lines, each value consumed."""
+    b = WarpBuilder()
+    for i in range(n):
+        line = base + i * stride
+        v = b.load_global([line + 4 * t for t in range(32)])
+        b.touch(v)
+    return b.ops
+
+
+def warp_with_barriers(n_phases: int, alu_per_phase: int = 4):
+    b = WarpBuilder()
+    v = b.iconst()
+    for _ in range(n_phases):
+        for _ in range(alu_per_phase):
+            v = b.alu(v)
+        b.barrier()
+    return b.ops
+
+
+def single_warp_kernel(ops, name="k", smem_bytes_per_cta=0, num_ctas=1):
+    lc = LaunchConfig(
+        threads_per_cta=32, num_ctas=num_ctas, smem_bytes_per_cta=smem_bytes_per_cta
+    )
+    ctas = [CTATrace([list(ops)]) for _ in range(num_ctas)]
+    return KernelTrace(name, lc, ctas)
+
+
+def multi_warp_kernel(warp_ops_list, name="k", smem_bytes_per_cta=0, num_ctas=1):
+    lc = LaunchConfig(
+        threads_per_cta=32 * len(warp_ops_list),
+        num_ctas=num_ctas,
+        smem_bytes_per_cta=smem_bytes_per_cta,
+    )
+    ctas = [CTATrace([list(w) for w in warp_ops_list]) for _ in range(num_ctas)]
+    return KernelTrace(name, lc, ctas)
+
+
+def compiled(trace, regs=None):
+    return compile_kernel(trace, regs_per_thread=regs)
