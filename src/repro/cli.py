@@ -11,18 +11,58 @@ Commands
     Regenerate one of the paper's tables/figures (``table1``,
     ``figure2`` ... ``figure11``, ``ablation-cluster-port``,
     ``ablation-no-hierarchy``).
+``suite``
+    Regenerate every table/figure in one go, with per-experiment
+    wall-clock timing.
 ``autotune BENCH``
     Sweep thread targets under a unified capacity (Section 4.5 remark).
 ``sweep BENCH``
     Capacity sweep (Table 6 style) for one benchmark.
+
+The ``experiment``, ``suite``, and ``validate`` commands accept
+``--jobs N`` (fan independent simulations over N worker processes) and
+``--cache-dir PATH`` (persist traces and simulation results across runs
+in a content-addressed on-disk cache); a timing/cache summary is printed
+to stderr after the results.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.core.partition import KB
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_executor_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                   help="worker processes for independent simulations "
+                        "(default 1 = serial; results are identical)")
+    p.add_argument("--cache-dir", default=None, metavar="PATH",
+                   help="persist traces/results in a content-addressed "
+                        "cache reused across runs and workers")
+
+
+def _make_executor(args: argparse.Namespace):
+    from repro.experiments.artifacts import DiskCache
+    from repro.experiments.executor import Executor
+    from repro.experiments.runner import Runner
+
+    try:
+        cache = DiskCache(args.cache_dir) if args.cache_dir else None
+    except OSError as e:
+        print(f"cannot use cache dir {args.cache_dir!r}: {e}", file=sys.stderr)
+        raise SystemExit(2) from e
+    runner = Runner(args.scale, cache=cache)
+    return Executor(runner, jobs=args.jobs, progress=args.jobs > 1)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,10 +92,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument("id", help="table1, figure2..figure11, table4..table6, "
-                                "ablation-cluster-port, ablation-no-hierarchy")
+                                "gating, ablation-cluster-port, "
+                                "ablation-no-hierarchy")
     exp.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
     exp.add_argument("--plot", action="store_true",
                      help="also render ASCII line plots (figure4 / figure11)")
+    _add_executor_flags(exp)
+
+    st = sub.add_parser("suite", help="regenerate every table/figure")
+    st.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    st.add_argument("--only", default=None, metavar="IDS",
+                    help="comma-separated experiment ids (default: all)")
+    _add_executor_flags(st)
 
     at = sub.add_parser("autotune", help="thread-count autotuning")
     at.add_argument("benchmark")
@@ -64,6 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     val = sub.add_parser("validate", help="run the reproduction scorecard")
     val.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    _add_executor_flags(val)
 
     sw = sub.add_parser("sweep", help="capacity sweep for one benchmark")
     sw.add_argument("benchmark")
@@ -134,7 +183,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _experiment_registry(scale: str) -> dict:
+    """Experiment id -> run callable taking an ``executor=`` keyword.
+
+    ``table4`` (analytic, no simulation) and ``irregular`` (own trace
+    builders) run serially and simply ignore the executor.
+    """
     from repro.experiments import (
         ablations,
         figure2,
@@ -145,19 +199,27 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         figure9,
         figure10,
         figure11,
+        gating,
         table1,
         table4,
         table5,
         table6,
     )
-    from repro.experiments.runner import Runner
 
-    registry = {
+    def _table4(executor=None):
+        return table4.run()
+
+    def _irregular(executor=None):
+        from repro.experiments import irregular as irr
+
+        return irr.run(scale)
+
+    return {
         "table1": table1.run,
         "figure2": figure2.run,
         "figure3": figure3.run,
         "figure4": figure4.run,
-        "table4": lambda **kw: table4.run(),
+        "table4": _table4,
         "table5": table5.run,
         "figure7": figure7.run,
         "figure8": figure8.run,
@@ -165,22 +227,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "figure10": figure10.run,
         "table6": table6.run,
         "figure11": figure11.run,
+        "gating": gating.run,
         "ablation-cluster-port": ablations.run_cluster_port,
         "ablation-no-hierarchy": ablations.run_no_hierarchy,
-        "irregular": lambda runner=None, **kw: _irregular(runner),
+        "irregular": _irregular,
     }
 
-    def _irregular(runner):
-        from repro.experiments import irregular as irr
 
-        return irr.run(args.scale)
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry(args.scale)
     if args.id not in registry:
         print(f"unknown experiment {args.id!r}; choose from: "
               f"{', '.join(sorted(registry))}", file=sys.stderr)
         return 2
-    fn = registry[args.id]
-    kwargs = {} if args.id == "table4" else {"runner": Runner(args.scale)}
-    result = fn(**kwargs)
+    executor = _make_executor(args)
+    result = registry[args.id](executor=executor)
     print(result.format())
     if getattr(args, "plot", False):
         from repro.experiments import plots
@@ -192,6 +253,40 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         elif args.id == "figure11":
             print()
             print(plots.plot_figure11(result))
+    print(executor.summary(), file=sys.stderr)
+    return 0
+
+
+# Suite order: cheap single-point experiments first, big sweeps last, so
+# the shared runner's memo tables are warm before the grids hit them.
+SUITE_ORDER = (
+    "table1", "table4", "figure7", "figure8", "figure9", "figure10",
+    "table5", "table6", "gating", "figure2", "figure3", "figure4",
+    "figure11", "ablation-cluster-port", "ablation-no-hierarchy",
+)
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    registry = _experiment_registry(args.scale)
+    ids = SUITE_ORDER if args.only is None else tuple(args.only.split(","))
+    unknown = [i for i in ids if i not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    executor = _make_executor(args)
+    timings: list[tuple[str, float]] = []
+    for exp_id in ids:
+        t0 = time.perf_counter()
+        result = registry[exp_id](executor=executor)
+        dt = time.perf_counter() - t0
+        timings.append((exp_id, dt))
+        print(result.format())
+        print()
+        print(f"[suite] {exp_id}: {dt:.2f}s", file=sys.stderr)
+    total = sum(dt for _, dt in timings)
+    print(f"[suite] {len(ids)} experiments in {total:.2f}s "
+          f"(slowest: {max(timings, key=lambda t: t[1])[0]})", file=sys.stderr)
+    print(executor.summary(), file=sys.stderr)
     return 0
 
 
@@ -238,10 +333,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.experiments import validate
-    from repro.experiments.runner import Runner
 
-    card = validate.run(runner=Runner(args.scale))
+    executor = _make_executor(args)
+    card = validate.run(executor=executor)
     print(card.format())
+    print(executor.summary(), file=sys.stderr)
     return 0 if card.passed else 1
 
 
@@ -251,6 +347,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": lambda: _cmd_list(),
         "run": lambda: _cmd_run(args),
         "experiment": lambda: _cmd_experiment(args),
+        "suite": lambda: _cmd_suite(args),
         "autotune": lambda: _cmd_autotune(args),
         "sweep": lambda: _cmd_sweep(args),
         "validate": lambda: _cmd_validate(args),

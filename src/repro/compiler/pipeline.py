@@ -25,7 +25,7 @@ from repro.compiler.compiled import (
 )
 from repro.compiler.bankassign import assign_banks, remap_shape
 from repro.compiler.liveness import max_live_registers
-from repro.compiler.regalloc import Fill, Rewrite, ShapeOp, Spill, schedule_registers
+from repro.compiler.regalloc import Fill, ShapeOp, Spill, schedule_registers
 from repro.compiler.rfhierarchy import OperandTags, tag_hierarchy
 from repro.isa.kernel import KernelTrace
 from repro.isa.opcodes import OpClass

@@ -30,13 +30,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compiler import compile_kernel
-from repro.core import allocate_unified
-from repro.core.partition import KB
+from repro.experiments.executor import Executor, Job, register_job_kind
 from repro.experiments.report import format_table, geomean
 from repro.experiments.runner import Runner
 from repro.kernels import BENEFIT_SET, NO_BENEFIT_SET
-from repro.sm import SMConfig, simulate
+from repro.sm import SMConfig
+
+#: The strict one-bank-per-cluster scatter/gather variant (Section 4.2).
+STRICT_PORT_CFG = SMConfig(cluster_port_banks=True)
 
 
 @dataclass(frozen=True)
@@ -72,23 +73,39 @@ class AblationResult:
         return format_table(headers, rows, title=self.title)
 
 
+@register_job_kind("cluster-port")
+def _cluster_port_job(rn: Runner, job: Job) -> None:
+    uni, _ = rn.unified(job.benchmark, total_kb=384)
+    rn.variant(STRICT_PORT_CFG).simulate(job.benchmark, uni.partition)
+
+
+def jobs_cluster_port(
+    benchmarks: tuple[str, ...] = BENEFIT_SET + NO_BENEFIT_SET,
+) -> list[Job]:
+    return [Job("cluster-port", name) for name in benchmarks]
+
+
 def run_cluster_port(
     scale: str = "small",
     benchmarks: tuple[str, ...] = BENEFIT_SET + NO_BENEFIT_SET,
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> AblationResult:
     """Strict one-bank-per-cluster port vs the paper's per-bank model.
 
     The paper's simple-vs-enhanced scatter/gather comparison: expected
     to be a fraction of a percent on this suite (their 0.5%).
     """
-    rn = runner or Runner(scale)
-    strict_cfg = SMConfig(cluster_port_banks=True)
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(jobs_cluster_port(benchmarks), label="cluster-port")
+    else:
+        rn = runner or Runner(scale)
+    strict_rn = rn.variant(STRICT_PORT_CFG)
     rows = []
     for name in benchmarks:
         uni, _ = rn.unified(name, total_kb=384)
-        ck = rn.compiled(name)
-        strict = simulate(ck, uni.partition, strict_cfg)
+        strict = strict_rn.simulate(name, uni.partition)
         rows.append(
             AblationRow(
                 name=name,
@@ -107,23 +124,36 @@ def run_cluster_port(
     )
 
 
+@register_job_kind("no-hierarchy")
+def _no_hierarchy_job(rn: Runner, job: Job) -> None:
+    _, alloc = rn.unified(job.benchmark, total_kb=384)
+    rn.simulate(job.benchmark, alloc.partition, orf_entries=0)
+
+
+def jobs_no_hierarchy(benchmarks: tuple[str, ...] = BENEFIT_SET) -> list[Job]:
+    return [Job("no-hierarchy", name) for name in benchmarks]
+
+
 def run_no_hierarchy(
     scale: str = "small",
     benchmarks: tuple[str, ...] = BENEFIT_SET,
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> AblationResult:
     """Disable the LRF/ORF: every operand hits the MRF banks.
 
     Quantifies the paper's "key enabler" claim: without the hierarchy,
     unified-design arbitration conflicts multiply.
     """
-    rn = runner or Runner(scale)
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(jobs_no_hierarchy(benchmarks), label="no-hierarchy")
+    else:
+        rn = runner or Runner(scale)
     rows = []
     for name in benchmarks:
         uni, alloc = rn.unified(name, total_kb=384)
-        trace = rn.trace(name)
-        flat = compile_kernel(trace, orf_entries=0)
-        variant = simulate(flat, alloc.partition)
+        variant = rn.simulate(name, alloc.partition, orf_entries=0)
         rows.append(
             AblationRow(
                 name=name,
@@ -144,11 +174,32 @@ def run_no_hierarchy(
     )
 
 
+@register_job_kind("barrier-latency")
+def _barrier_latency_job(rn: Runner, job: Job) -> None:
+    # ``rn`` already carries the variant SMConfig (job.config); the
+    # allocation is config-independent and shared across latencies.
+    alloc = rn.allocation(job.benchmark, total_kb=384)
+    rn.baseline(job.benchmark)
+    rn.simulate(job.benchmark, alloc.partition)
+
+
+def jobs_barrier_latency(
+    benchmarks: tuple[str, ...] = ("needle", "pcr", "matrixmul", "hotspot"),
+    latencies: tuple[int, ...] = (0, 24, 48, 72, 96),
+) -> list[Job]:
+    return [
+        Job("barrier-latency", name, config=SMConfig(barrier_latency=lat))
+        for name in benchmarks
+        for lat in latencies
+    ]
+
+
 def run_barrier_latency(
     scale: str = "small",
     benchmarks: tuple[str, ...] = ("needle", "pcr", "matrixmul", "hotspot"),
     latencies: tuple[int, ...] = (0, 24, 48, 72, 96),
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> AblationResult:
     """Sensitivity to the barrier/deschedule latency parameter.
 
@@ -161,24 +212,21 @@ def run_barrier_latency(
     kernels (needle) gain more with larger latencies.  Rows report the
     speedup at the smallest vs the largest latency in the grid.
     """
-    rn = runner or Runner(scale)
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(
+            jobs_barrier_latency(benchmarks, latencies), label="barrier-latency"
+        )
+    else:
+        rn = runner or Runner(scale)
     rows = []
     for name in benchmarks:
         speedups = []
+        alloc = rn.allocation(name, total_kb=384)
         for lat in latencies:
-            cfg = SMConfig(barrier_latency=lat)
-            ck = rn.compiled(name)
-            from repro.core import partitioned_baseline
-
-            trace = rn.trace(name)
-            alloc = allocate_unified(
-                384 * KB,
-                regs_per_thread=ck.regs_per_thread,
-                threads_per_cta=trace.launch.threads_per_cta,
-                smem_bytes_per_cta=trace.launch.smem_bytes_per_cta,
-            )
-            base = simulate(ck, partitioned_baseline(), cfg)
-            uni = simulate(ck, alloc.partition, cfg)
+            vrn = rn.variant(SMConfig(barrier_latency=lat))
+            base = vrn.baseline(name)
+            uni = vrn.simulate(name, alloc.partition)
             speedups.append(base.cycles / uni.cycles)
         rows.append(
             AblationRow(
@@ -196,11 +244,23 @@ def run_barrier_latency(
     )
 
 
+def jobs_orf_size(
+    benchmarks: tuple[str, ...] = ("needle", "pcr", "nbody", "sgemv"),
+    sizes: tuple[int, ...] = (1, 2, 4, 8),
+) -> list[Job]:
+    return [
+        Job("compile", name, params=(("orf_entries", size),))
+        for name in benchmarks
+        for size in sizes
+    ]
+
+
 def run_orf_size(
     scale: str = "small",
     benchmarks: tuple[str, ...] = ("needle", "pcr", "nbody", "sgemv"),
     sizes: tuple[int, ...] = (1, 2, 4, 8),
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> AblationResult:
     """MRF-traffic sensitivity to the ORF capacity.
 
@@ -211,14 +271,16 @@ def run_orf_size(
     row's baseline/variant columns hold the MRF read counts at the
     smallest and the default (4-entry) size.
     """
-    rn = runner or Runner(scale)
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(jobs_orf_size(benchmarks, sizes), label="orf-size")
+    else:
+        rn = runner or Runner(scale)
     rows = []
     for name in benchmarks:
-        trace = rn.trace(name)
         reads = {}
         for size in sizes:
-            ck = compile_kernel(trace, orf_entries=size)
-            reads[size] = ck.rf_traffic().mrf_reads
+            reads[size] = rn.summary(name, orf_entries=size).mrf_reads
         rows.append(
             AblationRow(
                 name=name,
@@ -237,11 +299,23 @@ def run_orf_size(
     )
 
 
+def jobs_cache_associativity(
+    benchmarks: tuple[str, ...] = ("bfs", "gpu-mummer", "pcr", "srad"),
+    assocs: tuple[int, ...] = (1, 2, 4, 8),
+) -> list[Job]:
+    return [
+        Job("baseline", name, config=SMConfig(cache_assoc=assoc))
+        for name in benchmarks
+        for assoc in assocs
+    ]
+
+
 def run_cache_associativity(
     scale: str = "small",
     benchmarks: tuple[str, ...] = ("bfs", "gpu-mummer", "pcr", "srad"),
     assocs: tuple[int, ...] = (1, 2, 4, 8),
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> AblationResult:
     """Cache associativity sweep on the cache-limited benchmarks.
 
@@ -250,16 +324,19 @@ def run_cache_associativity(
     while 8-way adds little over 4-way.  Rows compare runtime at 1-way
     vs the default 4-way under the baseline partition.
     """
-    rn = runner or Runner(scale)
-    from repro.core import partitioned_baseline
-
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(
+            jobs_cache_associativity(benchmarks, assocs), label="cache-assoc"
+        )
+    else:
+        rn = runner or Runner(scale)
     rows = []
     for name in benchmarks:
-        ck = rn.compiled(name)
         cycles = {}
         misses = {}
         for assoc in assocs:
-            r = simulate(ck, partitioned_baseline(), SMConfig(cache_assoc=assoc))
+            r = rn.variant(SMConfig(cache_assoc=assoc)).baseline(name)
             cycles[assoc] = r.cycles
             misses[assoc] = r.cache_stats.read_misses
         rows.append(

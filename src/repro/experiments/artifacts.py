@@ -1,0 +1,190 @@
+"""Persistent, content-addressed artifact cache for experiment sweeps.
+
+The expensive artefacts of this pipeline are kernel traces (the
+Ocelot-equivalent step) and simulation results.  Both are pure functions
+of their inputs -- a trace of (benchmark, scale, build params), a
+simulation of (trace, register budget, partition, thread target, SM
+config) -- so they can be cached on disk, shared between worker
+processes, and reused across runs.
+
+Layout under the cache root::
+
+    traces/<sha256>.npz    -- via :mod:`repro.isa.io`
+    results/<sha256>.json  -- via :mod:`repro.sm.serialize`
+    meta/<sha256>.json     -- small JSON artefacts (compile summaries,
+                              unified allocations)
+
+Keys are canonical JSON renderings of plain-data tuples hashed with
+SHA-256, and every key embeds the relevant format version
+(:data:`repro.isa.io.FORMAT_VERSION`,
+:data:`repro.sm.serialize.RESULT_FORMAT_VERSION`), so a format bump
+simply misses rather than mis-reads.  Invalidation rules:
+
+* **corrupted or truncated entries** fail to decode; the entry is
+  deleted and the artefact regenerated (never a crash);
+* **stale entries** (written under an older format version) hash to a
+  different path or fail the decoder's version check, same outcome;
+* writes are atomic (temp file + ``os.replace``), so a killed run never
+  leaves a half-written entry that a later run would trust.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.isa.io import load_trace, save_trace
+from repro.isa.kernel import KernelTrace
+from repro.sm.result import SimResult
+from repro.sm.serialize import load_result, save_result
+
+
+def cache_key_digest(key: object) -> str:
+    """SHA-256 of the canonical JSON rendering of a plain-data key."""
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(slots=True)
+class DiskCacheStats:
+    """Hit/miss accounting across one :class:`DiskCache` lifetime."""
+
+    trace_hits: int = 0
+    trace_misses: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    meta_hits: int = 0
+    meta_misses: int = 0
+    invalidated: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.trace_hits + self.result_hits + self.meta_hits
+
+    @property
+    def misses(self) -> int:
+        return self.trace_misses + self.result_misses + self.meta_misses
+
+    def summary(self) -> str:
+        parts = [
+            f"traces {self.trace_hits}/{self.trace_hits + self.trace_misses}",
+            f"results {self.result_hits}/{self.result_hits + self.result_misses}",
+            f"meta {self.meta_hits}/{self.meta_hits + self.meta_misses}",
+        ]
+        s = f"cache hits: {', '.join(parts)}"
+        if self.invalidated:
+            s += f"; {self.invalidated} stale/corrupt entries regenerated"
+        return s
+
+
+class DiskCache:
+    """Content-addressed trace/result store shared by processes and runs.
+
+    Safe for concurrent writers: the worst case is two processes
+    computing the same artefact and replacing the entry with identical
+    bytes.  All ``get_*`` methods return ``None`` on any decode failure
+    after deleting the offending entry.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.stats = DiskCacheStats()
+        for sub in ("traces", "results", "meta"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+
+    # -- path mapping -----------------------------------------------------
+    def trace_path(self, key: object) -> Path:
+        return self.root / "traces" / f"{cache_key_digest(key)}.npz"
+
+    def result_path(self, key: object) -> Path:
+        return self.root / "results" / f"{cache_key_digest(key)}.json"
+
+    def meta_path(self, key: object) -> Path:
+        return self.root / "meta" / f"{cache_key_digest(key)}.json"
+
+    # -- atomic write helper ----------------------------------------------
+    @staticmethod
+    def _replace(tmp: Path, final: Path) -> None:
+        os.replace(tmp, final)
+
+    def _drop(self, path: Path) -> None:
+        self.stats.invalidated += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- traces -----------------------------------------------------------
+    def get_trace(self, key: object) -> KernelTrace | None:
+        path = self.trace_path(key)
+        if not path.exists():
+            self.stats.trace_misses += 1
+            return None
+        try:
+            trace = load_trace(path)
+        except Exception:
+            self._drop(path)
+            self.stats.trace_misses += 1
+            return None
+        self.stats.trace_hits += 1
+        return trace
+
+    def put_trace(self, key: object, trace: KernelTrace) -> None:
+        path = self.trace_path(key)
+        tmp = path.with_name(f".{os.getpid()}-{path.name}")
+        save_trace(trace, tmp)
+        self._replace(tmp, path)
+
+    # -- simulation results -----------------------------------------------
+    def get_result(self, key: object) -> SimResult | None:
+        path = self.result_path(key)
+        if not path.exists():
+            self.stats.result_misses += 1
+            return None
+        try:
+            result = load_result(path)
+        except Exception:
+            self._drop(path)
+            self.stats.result_misses += 1
+            return None
+        self.stats.result_hits += 1
+        return result
+
+    def put_result(self, key: object, result: SimResult) -> None:
+        path = self.result_path(key)
+        tmp = path.with_name(f".{os.getpid()}-{path.name}")
+        save_result(result, tmp)
+        self._replace(tmp, path)
+
+    # -- small JSON artefacts (compile summaries, allocations) -------------
+    def get_meta(self, key: object) -> dict | None:
+        path = self.meta_path(key)
+        if not path.exists():
+            self.stats.meta_misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if not isinstance(payload, dict):
+                raise ValueError("meta entry must be a JSON object")
+        except Exception:
+            self._drop(path)
+            self.stats.meta_misses += 1
+            return None
+        self.stats.meta_hits += 1
+        return payload
+
+    def put_meta(self, key: object, payload: dict) -> None:
+        path = self.meta_path(key)
+        tmp = path.with_name(f".{os.getpid()}-{path.name}")
+        tmp.write_text(json.dumps(payload))
+        self._replace(tmp, path)
+
+    # -- maintenance -------------------------------------------------------
+    def entry_count(self) -> dict[str, int]:
+        return {
+            sub: sum(1 for p in (self.root / sub).iterdir() if not p.name.startswith("."))
+            for sub in ("traces", "results", "meta")
+        }

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import partitioned_design
+from repro.experiments.executor import Executor, Job
 from repro.experiments.report import format_table
 from repro.experiments.runner import Runner
 from repro.kernels.needle import smem_bytes_for
@@ -67,15 +68,8 @@ class Figure11Result:
         )
 
 
-def run(
-    scale: str = "small",
-    blocking_factors: tuple[int, ...] = BLOCKING_FACTORS,
-    thread_points: tuple[int, ...] = THREAD_POINTS,
-    runner: Runner | None = None,
-) -> Figure11Result:
-    rn = runner or Runner(scale)
-    points: list[Figure11Point] = []
-    best_cycles = None
+def _grid(blocking_factors, thread_points):
+    """(bf, threads, smem_kb, partition) points of the tuning sweep."""
     for bf in blocking_factors:
         tpc = max(32, bf)
         smem_per_cta = smem_bytes_for(bf)
@@ -84,19 +78,53 @@ def run(
                 continue
             ctas = threads // tpc
             smem_kb = -(-ctas * smem_per_cta) // 1024 + 1
-            part = partitioned_design(256, smem_kb, 64)
-            try:
-                r = rn.simulate(
-                    "needle",
-                    part,
-                    thread_target=threads,
-                    blocking_factor=bf,
-                )
-            except (LaunchError, ValueError):
-                continue
-            points.append(Figure11Point(bf, threads, smem_kb, r.cycles, 0.0))
-            if best_cycles is None or r.cycles < best_cycles:
-                best_cycles = r.cycles
+            yield bf, threads, smem_kb, partitioned_design(256, smem_kb, 64)
+
+
+def jobs(
+    blocking_factors: tuple[int, ...] = BLOCKING_FACTORS,
+    thread_points: tuple[int, ...] = THREAD_POINTS,
+) -> list[Job]:
+    """The sweep as independent executor jobs (one per grid point)."""
+    return [
+        Job(
+            "partition",
+            "needle",
+            partition=part,
+            thread_target=threads,
+            params=(("blocking_factor", bf),),
+        )
+        for bf, threads, _, part in _grid(blocking_factors, thread_points)
+    ]
+
+
+def run(
+    scale: str = "small",
+    blocking_factors: tuple[int, ...] = BLOCKING_FACTORS,
+    thread_points: tuple[int, ...] = THREAD_POINTS,
+    runner: Runner | None = None,
+    executor: Executor | None = None,
+) -> Figure11Result:
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(jobs(blocking_factors, thread_points), label="figure11")
+    else:
+        rn = runner or Runner(scale)
+    points: list[Figure11Point] = []
+    best_cycles = None
+    for bf, threads, smem_kb, part in _grid(blocking_factors, thread_points):
+        try:
+            r = rn.simulate(
+                "needle",
+                part,
+                thread_target=threads,
+                blocking_factor=bf,
+            )
+        except (LaunchError, ValueError):
+            continue
+        points.append(Figure11Point(bf, threads, smem_kb, r.cycles, 0.0))
+        if best_cycles is None or r.cycles < best_cycles:
+            best_cycles = r.cycles
     return Figure11Result(
         [
             Figure11Point(p.blocking_factor, p.threads, p.smem_kb, p.cycles,

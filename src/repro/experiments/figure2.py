@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import partitioned_design
+from repro.experiments.executor import Executor, Job
 from repro.experiments.report import format_table
 from repro.experiments.runner import Runner
 from repro.sm.cta_scheduler import LaunchError
@@ -63,12 +64,32 @@ class Figure2Result:
         )
 
 
+def jobs(benchmarks: tuple[str, ...] = BENCHMARKS) -> list[Job]:
+    """The sweep as independent executor jobs (one per grid point)."""
+    out = []
+    for name in benchmarks:
+        for regs in REG_LINES:
+            for threads in THREAD_POINTS:
+                rf_kb = regs * 4 * threads / 1024
+                part = partitioned_design(rf_kb, UNBOUNDED_SMEM_KB, 64)
+                out.append(
+                    Job("partition", name, partition=part, regs=regs,
+                        thread_target=threads)
+                )
+    return out
+
+
 def run(
     scale: str = "small",
     benchmarks: tuple[str, ...] = BENCHMARKS,
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> Figure2Result:
-    rn = runner or Runner(scale)
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(jobs(benchmarks), label="figure2")
+    else:
+        rn = runner or Runner(scale)
     points: list[Figure2Point] = []
     for name in benchmarks:
         ref = None

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import partitioned_design
+from repro.experiments.executor import Executor, Job
 from repro.experiments.report import format_table
 from repro.experiments.runner import Runner
 from repro.sm.cta_scheduler import LaunchError
@@ -52,22 +53,39 @@ class Figure3Result:
         )
 
 
+def _grid(rn: Runner, name: str):
+    """(threads, smem_kb, partition) points for one benchmark's line."""
+    ck = rn.summary(name)
+    for threads in THREAD_POINTS:
+        ctas = max(1, threads // ck.threads_per_cta)
+        smem_kb = max(1, -(-ctas * ck.smem_bytes_per_cta // 1024))
+        yield threads, smem_kb, partitioned_design(256, smem_kb, 64)
+
+
+def jobs(runner: Runner, benchmarks: tuple[str, ...] = BENCHMARKS) -> list[Job]:
+    """The sweep as independent executor jobs (one per grid point)."""
+    return [
+        Job("partition", name, partition=part, thread_target=threads)
+        for name in benchmarks
+        for threads, _, part in _grid(runner, name)
+    ]
+
+
 def run(
     scale: str = "small",
     benchmarks: tuple[str, ...] = BENCHMARKS,
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> Figure3Result:
-    rn = runner or Runner(scale)
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(jobs(rn, benchmarks), label="figure3")
+    else:
+        rn = runner or Runner(scale)
     points: list[Figure3Point] = []
     for name in benchmarks:
-        trace = rn.trace(name)
-        tpc = trace.launch.threads_per_cta
-        smem_per_cta = trace.launch.smem_bytes_per_cta
         cycles: dict[int, float] = {}
-        for threads in THREAD_POINTS:
-            ctas = max(1, threads // tpc)
-            smem_kb = max(1, -(-ctas * smem_per_cta // 1024))
-            part = partitioned_design(256, smem_kb, 64)
+        for threads, smem_kb, part in _grid(rn, name):
             try:
                 r = rn.simulate(name, part, thread_target=threads)
             except (LaunchError, ValueError):

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import partitioned_design
+from repro.experiments.executor import Executor, Job
 from repro.experiments.report import format_table
 from repro.experiments.runner import Runner
 from repro.sm.cta_scheduler import LaunchError
@@ -53,13 +54,36 @@ class Figure4Result:
         )
 
 
+def jobs(
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+    thread_lines: tuple[int, ...] = THREAD_LINES,
+) -> list[Job]:
+    """The sweep as independent executor jobs (one per grid point)."""
+    return [
+        Job(
+            "partition",
+            name,
+            partition=partitioned_design(256, UNBOUNDED_SMEM_KB, cache_kb),
+            thread_target=threads,
+        )
+        for name in benchmarks
+        for threads in thread_lines
+        for cache_kb in CACHE_POINTS_KB
+    ]
+
+
 def run(
     scale: str = "small",
     benchmarks: tuple[str, ...] = BENCHMARKS,
     thread_lines: tuple[int, ...] = THREAD_LINES,
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> Figure4Result:
-    rn = runner or Runner(scale)
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(jobs(benchmarks, thread_lines), label="figure4")
+    else:
+        rn = runner or Runner(scale)
     points: list[Figure4Point] = []
     for name in benchmarks:
         cycles: dict[tuple[int, int], float] = {}

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.executor import Executor, Job
 from repro.experiments.report import format_table
 from repro.experiments.runner import Runner
 from repro.kernels import BENEFIT_SET
@@ -48,13 +49,25 @@ class Figure8Result:
         )
 
 
+def jobs(
+    benchmarks: tuple[str, ...] = BENEFIT_SET, total_kb: int = 384
+) -> list[Job]:
+    """The sweep as independent executor jobs (one per benchmark)."""
+    return [Job("unified", name, total_kb=total_kb) for name in benchmarks]
+
+
 def run(
     scale: str = "small",
     benchmarks: tuple[str, ...] = BENEFIT_SET,
     total_kb: int = 384,
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> Figure8Result:
-    rn = runner or Runner(scale)
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(jobs(benchmarks, total_kb), label="figure8")
+    else:
+        rn = runner or Runner(scale)
     rows = []
     for name in benchmarks:
         _, alloc = rn.unified(name, total_kb=total_kb)

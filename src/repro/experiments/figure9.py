@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.executor import Executor, Job
 from repro.experiments.report import format_table, geomean
 from repro.experiments.runner import Runner
 from repro.kernels import BENEFIT_SET, get_benchmark
@@ -77,12 +78,26 @@ class Figure9Result:
         )
 
 
+def jobs(benchmarks: tuple[str, ...] = BENEFIT_SET) -> list[Job]:
+    """The sweep as independent executor jobs (two per benchmark)."""
+    out = []
+    for name in benchmarks:
+        out.append(Job("baseline", name))
+        out.append(Job("unified", name, total_kb=384))
+    return out
+
+
 def run(
     scale: str = "small",
     benchmarks: tuple[str, ...] = BENEFIT_SET,
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> Figure9Result:
-    rn = runner or Runner(scale)
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(jobs(benchmarks), label="figure9")
+    else:
+        rn = runner or Runner(scale)
     rows = []
     for name in benchmarks:
         base = rn.baseline(name)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import AllocationError
+from repro.experiments.executor import Executor, Job
 from repro.experiments.report import format_table, geomean
 from repro.experiments.runner import Runner
 from repro.kernels import BENEFIT_SET, NO_BENEFIT_SET
@@ -72,13 +73,31 @@ class GatingResult:
         )
 
 
+def jobs(
+    benchmarks: tuple[str, ...] = BENEFIT_SET + NO_BENEFIT_SET,
+    capacities_kb: tuple[int, ...] = CAPACITY_GRID_KB,
+) -> list[Job]:
+    """The sweep as independent executor jobs (baseline + each capacity)."""
+    out = []
+    for name in benchmarks:
+        out.append(Job("baseline", name))
+        out.append(Job("unified", name, total_kb=384))
+        out.extend(Job("unified", name, total_kb=cap) for cap in capacities_kb)
+    return out
+
+
 def run(
     scale: str = "small",
     benchmarks: tuple[str, ...] = BENEFIT_SET + NO_BENEFIT_SET,
     capacities_kb: tuple[int, ...] = CAPACITY_GRID_KB,
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> GatingResult:
-    rn = runner or Runner(scale)
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(jobs(benchmarks, capacities_kb), label="gating")
+    else:
+        rn = runner or Runner(scale)
     rows = []
     for name in benchmarks:
         base = rn.baseline(name)

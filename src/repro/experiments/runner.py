@@ -1,25 +1,62 @@
 """Shared experiment machinery: build, compile, simulate, price -- cached.
 
 Traces depend only on (benchmark, scale, extra build params); compiled
-kernels add the register budget; simulations add the partition and
-thread target.  Each level is memoised so sweeps over memory
-configurations re-use the expensive trace/compile work, exactly like the
-paper's trace-driven methodology re-runs one trace through many
+kernels add the register budget; simulations add the partition, thread
+target, and SM configuration.  Each level is memoised so sweeps over
+memory configurations re-use the expensive trace/compile work, exactly
+like the paper's trace-driven methodology re-runs one trace through many
 configurations.
+
+Two cache layers:
+
+* an **in-memory memo** per :class:`Runner` (always on), and
+* an optional **on-disk artifact cache**
+  (:class:`~repro.experiments.artifacts.DiskCache`) shared across
+  processes and runs: traces persist as ``.npz`` via
+  :mod:`repro.isa.io`, simulation results as JSON via
+  :mod:`repro.sm.serialize`, and compile summaries / unified
+  allocations / expected failures as small JSON "meta" entries.
+
+Every simulation memo key folds in a fingerprint of the
+:class:`SMConfig`, so two runners sharing a disk cache -- or config
+*variants* of one runner (:meth:`Runner.variant`) -- can never serve
+each other stale results.
+
+The **journal** is the executor's delta-shipping hook: while a journal
+is armed (:meth:`Runner.journal_reset`), every newly memoised
+simulation, allocation, compile summary, and expected failure is
+recorded as a ``(kind, key, value)`` entry, which a parent process can
+:meth:`Runner.adopt` to warm its own memo without redoing the work.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
+import repro
 from repro.compiler import CompiledKernel, compile_kernel
 from repro.core import allocate_unified, fermi_like, partitioned_baseline
-from repro.core.allocator import UnifiedAllocation
+from repro.core.allocator import AllocationError, UnifiedAllocation
 from repro.core.partition import KB, MemoryPartition
 from repro.energy import EnergyBreakdown, EnergyModel
+from repro.isa import io as trace_io
 from repro.isa.kernel import KernelTrace
 from repro.kernels import get_benchmark
 from repro.sm import SMConfig, SimResult, simulate
+from repro.sm.cta_scheduler import LaunchError
+from repro.sm.serialize import (
+    RESULT_FORMAT_VERSION,
+    partition_from_dict,
+    partition_to_dict,
+)
+
+#: Exception classes a worker may legitimately surface to the parent;
+#: anything else is a bug and propagates.
+EXPECTED_ERRORS: dict[str, type[Exception]] = {
+    "LaunchError": LaunchError,
+    "AllocationError": AllocationError,
+    "ValueError": ValueError,
+}
 
 
 @dataclass(frozen=True)
@@ -38,37 +75,255 @@ class BenchmarkRun:
         return self.result.dram_accesses
 
 
+@dataclass(frozen=True, slots=True)
+class CompiledSummary:
+    """The compile facts experiment drivers consume.
+
+    Unlike a full :class:`~repro.compiler.compiled.CompiledKernel`
+    (one record per dynamic instruction), the summary is a handful of
+    integers -- cheap to ship between processes and to persist, which is
+    what lets warm-cache reruns of Table 1 skip recompilation entirely.
+    """
+
+    name: str
+    regs_per_thread: int
+    max_live: int
+    total_ops: int
+    spill_slots: int
+    threads_per_cta: int
+    smem_bytes_per_cta: int
+    mrf_reads: int
+
+    @property
+    def smem_bytes_per_thread(self) -> float:
+        return self.smem_bytes_per_cta / self.threads_per_cta
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(CompiledSummary)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CompiledSummary":
+        return cls(**{f.name: d[f.name] for f in fields(cls)})
+
+    @classmethod
+    def of(cls, ck: CompiledKernel) -> "CompiledSummary":
+        return cls(
+            name=ck.name,
+            regs_per_thread=ck.regs_per_thread,
+            max_live=ck.max_live,
+            total_ops=ck.total_ops,
+            spill_slots=ck.spill_slots,
+            threads_per_cta=ck.launch.threads_per_cta,
+            smem_bytes_per_cta=ck.launch.smem_bytes_per_cta,
+            mrf_reads=ck.rf_traffic().mrf_reads,
+        )
+
+
 def _partition_key(p: MemoryPartition) -> tuple:
     return (p.style.value, p.rf_bytes, p.smem_bytes, p.cache_bytes)
 
 
-class Runner:
-    """Caching façade over the kernel suite and the SM simulator."""
+def config_fingerprint(config: SMConfig) -> tuple:
+    """Stable, hashable, JSON-compatible rendering of an SMConfig."""
+    return tuple((f.name, getattr(config, f.name)) for f in fields(SMConfig))
 
-    def __init__(self, scale: str = "small", config: SMConfig | None = None) -> None:
+
+def _raise_expected(record: tuple[str, str]) -> None:
+    kind, message = record
+    raise EXPECTED_ERRORS[kind](message)
+
+
+class Runner:
+    """Caching façade over the kernel suite and the SM simulator.
+
+    Args:
+        scale: Workload scale ("tiny", "small", "paper").
+        config: SM timing parameters; defaults to the paper's Table 2.
+        cache: Optional :class:`~repro.experiments.artifacts.DiskCache`
+            backing the in-memory memo.  Safe to share between processes
+            (the executor's workers) and across runs.
+    """
+
+    def __init__(
+        self,
+        scale: str = "small",
+        config: SMConfig | None = None,
+        cache=None,
+    ) -> None:
         self.scale = scale
         self.config = config or SMConfig()
+        self.cache = cache
         self.energy_model = EnergyModel()
         self._traces: dict[tuple, KernelTrace] = {}
         self._compiled: dict[tuple, CompiledKernel] = {}
         self._sims: dict[tuple, SimResult] = {}
+        self._sim_errors: dict[tuple, tuple[str, str]] = {}
+        self._allocs: dict[tuple, UnifiedAllocation] = {}
+        self._alloc_errors: dict[tuple, tuple[str, str]] = {}
+        self._summaries: dict[tuple, CompiledSummary] = {}
+        self._journal: list[tuple[str, tuple, object]] | None = None
+        self._journal_host: Runner = self
+
+    def variant(self, config: SMConfig) -> "Runner":
+        """A runner for a different SMConfig sharing every memo.
+
+        Simulation keys embed the config fingerprint, so the shared
+        ``_sims`` dict cannot mix results across configs; traces,
+        compiles, and allocations are config-independent and genuinely
+        shared.  Journal entries recorded through a variant land on the
+        originating runner, so the executor sees one stream.
+        """
+        v = Runner(self.scale, config, cache=self.cache)
+        v._traces = self._traces
+        v._compiled = self._compiled
+        v._sims = self._sims
+        v._sim_errors = self._sim_errors
+        v._allocs = self._allocs
+        v._alloc_errors = self._alloc_errors
+        v._summaries = self._summaries
+        v._journal_host = self._journal_host
+        return v
+
+    # -- journal (executor delta shipping) --------------------------------
+    def journal_reset(self) -> list[tuple[str, tuple, object]]:
+        """Arm the journal and return entries recorded since last reset."""
+        host = self._journal_host
+        entries = host._journal or []
+        host._journal = []
+        return entries
+
+    def _record(self, kind: str, key: tuple, value) -> None:
+        host = self._journal_host
+        if host._journal is not None:
+            host._journal.append((kind, key, value))
+
+    def adopt(self, entries) -> None:
+        """Merge journal entries from another Runner (worker process)."""
+        memos = {
+            "sim": self._sims,
+            "sim_error": self._sim_errors,
+            "alloc": self._allocs,
+            "alloc_error": self._alloc_errors,
+            "summary": self._summaries,
+        }
+        for kind, key, value in entries:
+            memos[kind].setdefault(tuple(key), value)
+
+    # -- cache keys -------------------------------------------------------
+    def _config_key(self) -> tuple:
+        return config_fingerprint(self.config)
+
+    def _trace_disk_key(self, name: str, params: tuple) -> tuple:
+        return (
+            "trace",
+            trace_io.FORMAT_VERSION,
+            repro.__version__,
+            self.scale,
+            name,
+            params,
+        )
+
+    def sim_key(
+        self,
+        name: str,
+        partition: MemoryPartition,
+        regs: int | None = None,
+        thread_target: int | None = None,
+        **params,
+    ) -> tuple:
+        """The memo key one simulation is stored under (config included)."""
+        return (
+            name,
+            regs,
+            _partition_key(partition),
+            thread_target,
+            tuple(sorted(params.items())),
+            self._config_key(),
+        )
+
+    def _sim_disk_key(self, key: tuple) -> tuple:
+        return ("sim", RESULT_FORMAT_VERSION, repro.__version__, self.scale, key)
+
+    def _sim_error_disk_key(self, key: tuple) -> tuple:
+        return ("sim_error", repro.__version__, self.scale, key)
+
+    def _summary_disk_key(self, key: tuple) -> tuple:
+        return ("summary", repro.__version__, self.scale, key)
+
+    def _alloc_disk_key(self, key: tuple) -> tuple:
+        return ("alloc", repro.__version__, self.scale, key)
+
+    def _alloc_error_disk_key(self, key: tuple) -> tuple:
+        return ("alloc_error", repro.__version__, self.scale, key)
+
+    @staticmethod
+    def _split_params(params: dict) -> tuple[dict, dict]:
+        """Separate trace build params from compile params.
+
+        ``orf_entries`` is a compiler knob (RF-hierarchy ablations), not
+        a benchmark build parameter; it still participates in compile
+        and simulation keys via the caller's ``params``.
+        """
+        build = {k: v for k, v in params.items() if k != "orf_entries"}
+        comp = {k: v for k, v in params.items() if k == "orf_entries"}
+        return build, comp
 
     # -- construction ---------------------------------------------------
     def trace(self, name: str, **params) -> KernelTrace:
-        key = (name, tuple(sorted(params.items())))
+        build, _ = self._split_params(params)
+        key = (name, tuple(sorted(build.items())))
         if key not in self._traces:
-            self._traces[key] = get_benchmark(name).build(self.scale, **params)
+            trace = None
+            if self.cache is not None:
+                disk_key = self._trace_disk_key(name, key[1])
+                trace = self.cache.get_trace(disk_key)
+            if trace is None:
+                trace = get_benchmark(name).build(self.scale, **build)
+                if self.cache is not None:
+                    self.cache.put_trace(disk_key, trace)
+            self._traces[key] = trace
         return self._traces[key]
 
     def compiled(self, name: str, regs: int | None = None, **params) -> CompiledKernel:
         key = (name, regs, tuple(sorted(params.items())))
         if key not in self._compiled:
-            self._compiled[key] = compile_kernel(self.trace(name, **params), regs)
+            build, comp = self._split_params(params)
+            ck = compile_kernel(self.trace(name, **build), regs, **comp)
+            self._compiled[key] = ck
+            if key not in self._summaries:
+                self._store_summary(key, CompiledSummary.of(ck))
         return self._compiled[key]
+
+    def _store_summary(self, key: tuple, summary: CompiledSummary) -> None:
+        self._summaries[key] = summary
+        self._record("summary", key, summary)
+        if self.cache is not None:
+            self.cache.put_meta(self._summary_disk_key(key), summary.to_dict())
+
+    def summary(self, name: str, regs: int | None = None, **params) -> CompiledSummary:
+        """Compile facts without the instruction stream (cache-friendly).
+
+        Prefer this over :meth:`compiled` when only ``max_live`` /
+        ``total_ops`` / launch geometry are needed: warm caches answer
+        it without recompiling, and the executor ships it between
+        processes for pennies.
+        """
+        key = (name, regs, tuple(sorted(params.items())))
+        if key in self._summaries:
+            return self._summaries[key]
+        if self.cache is not None:
+            payload = self.cache.get_meta(self._summary_disk_key(key))
+            if payload is not None:
+                summary = CompiledSummary.from_dict(payload)
+                self._summaries[key] = summary
+                self._record("summary", key, summary)
+                return summary
+        self.compiled(name, regs, **params)
+        return self._summaries[key]
 
     def no_spill_regs(self, name: str, **params) -> int:
         """Registers/thread to avoid spills (Table 1, column 2)."""
-        return self.compiled(name, **params).max_live
+        return self.summary(name, **params).max_live
 
     # -- simulation -----------------------------------------------------
     def simulate(
@@ -79,25 +334,119 @@ class Runner:
         thread_target: int | None = None,
         **params,
     ) -> SimResult:
-        key = (
-            name,
-            regs,
-            _partition_key(partition),
-            thread_target,
-            tuple(sorted(params.items())),
+        key = self.sim_key(
+            name, partition, regs=regs, thread_target=thread_target, **params
         )
-        if key not in self._sims:
-            self._sims[key] = simulate(
-                self.compiled(name, regs, **params),
-                partition,
-                self.config,
-                thread_target=thread_target,
-            )
-        return self._sims[key]
+        if key in self._sims:
+            return self._sims[key]
+        if key in self._sim_errors:
+            _raise_expected(self._sim_errors[key])
+        result = None
+        if self.cache is not None:
+            result = self.cache.get_result(self._sim_disk_key(key))
+            if result is None:
+                payload = self.cache.get_meta(self._sim_error_disk_key(key))
+                if payload is not None:
+                    self._memo_sim_error(key, (payload["error"], payload["message"]))
+                    _raise_expected(self._sim_errors[key])
+        if result is None:
+            try:
+                result = simulate(
+                    self.compiled(name, regs, **params),
+                    partition,
+                    self.config,
+                    thread_target=thread_target,
+                )
+            except LaunchError as e:
+                record = ("LaunchError", str(e))
+                self._memo_sim_error(key, record)
+                if self.cache is not None:
+                    self.cache.put_meta(
+                        self._sim_error_disk_key(key),
+                        {"error": record[0], "message": record[1]},
+                    )
+                raise
+            if self.cache is not None:
+                self.cache.put_result(self._sim_disk_key(key), result)
+        self._sims[key] = result
+        self._record("sim", key, result)
+        return result
+
+    def _memo_sim_error(self, key: tuple, record: tuple[str, str]) -> None:
+        self._sim_errors[key] = record
+        self._record("sim_error", key, record)
 
     def baseline(self, name: str, **kw) -> SimResult:
         """The 256/64/64 partitioned baseline (Section 2.1)."""
         return self.simulate(name, partitioned_baseline(), **kw)
+
+    def allocation(
+        self,
+        name: str,
+        total_kb: int = 384,
+        thread_target: int | None = None,
+        **params,
+    ) -> UnifiedAllocation:
+        """The Section 4.5 allocation at ``total_kb`` (memoised).
+
+        Like :meth:`simulate`, expected :class:`AllocationError` outcomes
+        are memoised and persisted so capacity sweeps whose small points
+        do not fit never re-derive the refusal.
+        """
+        key = (name, total_kb, thread_target, tuple(sorted(params.items())))
+        if key in self._allocs:
+            return self._allocs[key]
+        if key in self._alloc_errors:
+            _raise_expected(self._alloc_errors[key])
+        if self.cache is not None:
+            payload = self.cache.get_meta(self._alloc_disk_key(key))
+            if payload is not None:
+                alloc = UnifiedAllocation(
+                    partition=partition_from_dict(payload["partition"]),
+                    resident_ctas=payload["resident_ctas"],
+                    resident_threads=payload["resident_threads"],
+                )
+                self._allocs[key] = alloc
+                self._record("alloc", key, alloc)
+                return alloc
+            payload = self.cache.get_meta(self._alloc_error_disk_key(key))
+            if payload is not None:
+                self._memo_alloc_error(key, (payload["error"], payload["message"]))
+                _raise_expected(self._alloc_errors[key])
+        ck = self.summary(name, **params)
+        try:
+            alloc = allocate_unified(
+                total_kb * KB,
+                regs_per_thread=ck.max_live,
+                threads_per_cta=ck.threads_per_cta,
+                smem_bytes_per_cta=ck.smem_bytes_per_cta,
+                thread_target=thread_target if thread_target is not None else 1024,
+            )
+        except AllocationError as e:
+            record = ("AllocationError", str(e))
+            self._memo_alloc_error(key, record)
+            if self.cache is not None:
+                self.cache.put_meta(
+                    self._alloc_error_disk_key(key),
+                    {"error": record[0], "message": record[1]},
+                )
+            raise
+        self._allocs[key] = alloc
+        self._record("alloc", key, alloc)
+        if self.cache is not None:
+            self.cache.put_meta(
+                self._alloc_disk_key(key),
+                {
+                    "partition": partition_to_dict(alloc.partition),
+                    "resident_ctas": alloc.resident_ctas,
+                    "resident_threads": alloc.resident_threads,
+                },
+            )
+        return alloc
+
+    def _memo_alloc_error(self, key: tuple, record: tuple[str, str]) -> None:
+        self._alloc_errors[key] = record
+        self._record("alloc_error", key, record)
 
     def unified(
         self,
@@ -107,14 +456,8 @@ class Runner:
         **params,
     ) -> tuple[SimResult, UnifiedAllocation]:
         """Section 4.5 allocation at ``total_kb`` followed by simulation."""
-        trace = self.trace(name, **params)
-        ck = self.compiled(name, **params)
-        alloc = allocate_unified(
-            total_kb * KB,
-            regs_per_thread=ck.regs_per_thread,
-            threads_per_cta=trace.launch.threads_per_cta,
-            smem_bytes_per_cta=trace.launch.smem_bytes_per_cta,
-            thread_target=thread_target if thread_target is not None else 1024,
+        alloc = self.allocation(
+            name, total_kb=total_kb, thread_target=thread_target, **params
         )
         result = self.simulate(
             name, alloc.partition, thread_target=thread_target, **params
@@ -130,8 +473,6 @@ class Runner:
         skipped.
         """
         best: SimResult | None = None
-        from repro.sm.cta_scheduler import LaunchError
-
         for split in (0, 1):
             try:
                 r = self.simulate(name, fermi_like(split), **params)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.core import partitioned_design
 from repro.core.partition import MAX_THREADS
+from repro.experiments.executor import Executor, Job, register_job_kind
 from repro.experiments.report import format_table
 from repro.experiments.runner import Runner
 from repro.kernels import all_benchmarks
@@ -75,27 +76,53 @@ class Table1Result:
         return format_table(headers, data, title="Table 1: workload characteristics")
 
 
+@register_job_kind("table1-row")
+def _row_job(rn: Runner, job: Job) -> None:
+    """Everything one benchmark's row needs: compiles plus cache sims."""
+    regs = rn.summary(job.benchmark).max_live
+    for budget in REG_BUDGETS:
+        if budget < regs:
+            rn.summary(job.benchmark, regs=budget)
+    for cache_kb in CACHE_POINTS_KB:
+        rn.simulate(
+            job.benchmark, partitioned_design(256, UNBOUNDED_SMEM_KB, cache_kb)
+        )
+
+
+def jobs(benchmarks: list[str] | None = None) -> list[Job]:
+    """One composite job per benchmark row (rows are independent)."""
+    return [
+        Job("table1-row", bm.name)
+        for bm in all_benchmarks()
+        if benchmarks is None or bm.name in benchmarks
+    ]
+
+
 def run(
     scale: str = "small",
     benchmarks: list[str] | None = None,
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> Table1Result:
     """Regenerate Table 1 (optionally for a subset of benchmarks)."""
-    rn = runner or Runner(scale)
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(jobs(benchmarks), label="table1")
+    else:
+        rn = runner or Runner(scale)
     rows: list[Table1Row] = []
     for bm in all_benchmarks():
         if benchmarks is not None and bm.name not in benchmarks:
             continue
-        base_ck = rn.compiled(bm.name)
+        base_ck = rn.summary(bm.name)
         regs = base_ck.max_live
         overheads = []
         for budget in REG_BUDGETS:
             if budget >= regs:
                 overheads.append(1.0)
             else:
-                ck = rn.compiled(bm.name, regs=budget)
+                ck = rn.summary(bm.name, regs=budget)
                 overheads.append(ck.total_ops / base_ck.total_ops)
-        trace = rn.trace(bm.name)
         dram = []
         for cache_kb in CACHE_POINTS_KB:
             part = partitioned_design(256, UNBOUNDED_SMEM_KB, cache_kb)
@@ -107,7 +134,7 @@ def run(
                 regs_per_thread=regs,
                 spill_overhead=tuple(overheads),
                 rf_full_occupancy_kb=regs * 4 * MAX_THREADS / 1024,
-                smem_bytes_per_thread=trace.launch.smem_bytes_per_thread,
+                smem_bytes_per_thread=base_ck.smem_bytes_per_thread,
                 dram_normalized=tuple(d / base_dram for d in dram),
                 paper_regs=bm.paper_regs,
                 paper_smem=bm.paper_smem_bytes_per_thread,

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.core import DesignStyle, MemoryPartition, partitioned_baseline
 from repro.core.partition import KB
+from repro.experiments.executor import Executor, Job
 from repro.experiments.report import format_table
 from repro.experiments.runner import Runner
 from repro.kernels import NO_BENEFIT_SET
@@ -56,12 +57,27 @@ class Table5Result:
         )
 
 
+def jobs(benchmarks: tuple[str, ...] = NO_BENEFIT_SET) -> list[Job]:
+    """The sweep as independent executor jobs (two per benchmark)."""
+    uni = equal_capacity_unified()
+    out = []
+    for name in benchmarks:
+        out.append(Job("baseline", name))
+        out.append(Job("partition", name, partition=uni))
+    return out
+
+
 def run(
     scale: str = "small",
     benchmarks: tuple[str, ...] = NO_BENEFIT_SET,
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> Table5Result:
-    rn = runner or Runner(scale)
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(jobs(benchmarks), label="table5")
+    else:
+        rn = runner or Runner(scale)
     part_hist = ConflictHistogram()
     uni_hist = ConflictHistogram()
     uni = equal_capacity_unified()

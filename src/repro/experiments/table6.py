@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.core import AllocationError, allocate_unified
 from repro.core.partition import KB
+from repro.experiments.executor import Executor, Job, register_job_kind
 from repro.experiments.report import format_table, geomean
 from repro.experiments.runner import Runner
 from repro.kernels import BENEFIT_SET, NO_BENEFIT_SET, get_benchmark
@@ -65,10 +66,10 @@ class Table6Result:
 
 def _spilled_allocation(runner: Runner, name: str, total_bytes: int):
     """Shrink the register budget until one CTA fits, inserting spills."""
-    trace = runner.trace(name)
-    tpc = trace.launch.threads_per_cta
-    smem = trace.launch.smem_bytes_per_cta
-    regs = runner.no_spill_regs(name)
+    ck = runner.summary(name)
+    tpc = ck.threads_per_cta
+    smem = ck.smem_bytes_per_cta
+    regs = ck.max_live
     while regs > 4:
         regs -= 1
         try:
@@ -82,13 +83,42 @@ def _spilled_allocation(runner: Runner, name: str, total_bytes: int):
     raise AllocationError(f"{name} cannot fit {total_bytes} bytes at any register budget")
 
 
+@register_job_kind("table6-point")
+def _point_job(rn: Runner, job: Job) -> None:
+    """One (benchmark, capacity) cell including the spilled fallback."""
+    try:
+        rn.unified(job.benchmark, total_kb=job.total_kb)
+    except AllocationError:
+        regs, alloc = _spilled_allocation(rn, job.benchmark, job.total_kb * KB)
+        rn.simulate(job.benchmark, alloc.partition, regs=regs)
+
+
+def jobs(
+    benchmarks: tuple[str, ...] = BENEFIT_SET,
+    no_benefit: tuple[str, ...] = NO_BENEFIT_SET,
+) -> list[Job]:
+    """The sweep as independent executor jobs (1 + len(capacities) each)."""
+    out = []
+    for name in benchmarks + no_benefit:
+        out.append(Job("baseline", name))
+        out.extend(
+            Job("table6-point", name, total_kb=cap) for cap in CAPACITIES_KB
+        )
+    return out
+
+
 def run(
     scale: str = "small",
     benchmarks: tuple[str, ...] = BENEFIT_SET,
     no_benefit: tuple[str, ...] = NO_BENEFIT_SET,
     runner: Runner | None = None,
+    executor: Executor | None = None,
 ) -> Table6Result:
-    rn = runner or Runner(scale)
+    if executor is not None:
+        rn = executor.runner
+        executor.prime(jobs(benchmarks, no_benefit), label="table6")
+    else:
+        rn = runner or Runner(scale)
     rows: list[Table6Row] = []
 
     def evaluate(name: str) -> tuple[list[float], list[float]]:

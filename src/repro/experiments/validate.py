@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments import figure7, figure8, figure9, table4, table6
+from repro.experiments.executor import Executor
 from repro.experiments.report import format_table
 from repro.experiments.runner import Runner
 
@@ -49,8 +50,12 @@ class Scorecard:
         return table
 
 
-def run(scale: str = "small", runner: Runner | None = None) -> Scorecard:
-    rn = runner or Runner(scale)
+def run(
+    scale: str = "small",
+    runner: Runner | None = None,
+    executor: Executor | None = None,
+) -> Scorecard:
+    rn = executor.runner if executor is not None else (runner or Runner(scale))
     checks: list[Check] = []
 
     def check(claim: str, paper: str, measured: str, ok: bool) -> None:
@@ -62,7 +67,7 @@ def run(scale: str = "small", runner: Runner | None = None) -> Scorecard:
     check("SRAM energies match Table 4", "exact", f"max err {err:.1%}", err < 0.05)
 
     # Figure 9 -------------------------------------------------------------
-    f9 = figure9.run(runner=rn)
+    f9 = figure9.run(runner=rn, executor=executor)
     needle = f9.row("needle").speedup
     check(
         "needle has the largest unified speedup",
@@ -90,7 +95,7 @@ def run(scale: str = "small", runner: Runner | None = None) -> Scorecard:
     )
 
     # Figure 7 -------------------------------------------------------------
-    f7 = figure7.run(runner=rn)
+    f7 = figure7.run(runner=rn, executor=executor)
     worst = max(f7.rows, key=lambda r: abs(r.perf_ratio - 1.0))
     check(
         "no-benefit apps unaffected",
@@ -100,7 +105,7 @@ def run(scale: str = "small", runner: Runner | None = None) -> Scorecard:
     )
 
     # Figure 8 -------------------------------------------------------------
-    f8 = figure8.run(runner=rn)
+    f8 = figure8.run(runner=rn, executor=executor)
     check(
         "bfs allocates the smallest RF",
         "36 KB",
@@ -115,7 +120,7 @@ def run(scale: str = "small", runner: Runner | None = None) -> Scorecard:
     )
 
     # Table 6 --------------------------------------------------------------
-    t6 = table6.run(runner=rn)
+    t6 = table6.run(runner=rn, executor=executor)
     check(
         "128 KB hurts register-heavy apps",
         "dgemm 0.77x",

@@ -8,14 +8,18 @@ trace-driven methodology separates tracing from simulation.
 Format: a single compressed ``.npz`` holding the launch metadata plus
 five parallel numpy arrays encoding every warp instruction:
 
-* ``op``      -- opcode ordinal (uint8)
-* ``dst``     -- destination vreg + 1, 0 for none (int32)
-* ``srcs``    -- flattened source registers with ``src_off`` offsets
-* ``addrs``   -- flattened byte addresses with ``addr_off`` offsets
-* ``bounds``  -- (cta, warp) boundaries as op counts
+* ``op``        -- opcode ordinal (uint8)
+* ``dst``       -- destination vreg + 1, 0 for none (int32)
+* ``srcs``      -- flattened source registers with ``src_off`` offsets
+* ``addrs``     -- flattened byte addresses with ``addr_off`` offsets
+* ``has_addrs`` -- 1 if the op carries an address tuple (uint8); this
+  distinguishes an *empty* tuple (a fully-predicated memory op) from
+  ``None``, which offset arithmetic alone cannot
+* ``bounds``    -- (cta, warp) boundaries as op counts
 
 The encoding is lossless: ``load(save(trace))`` reproduces the trace
-exactly (verified by property test).
+exactly, including empty-but-present address tuples (verified by
+property test).
 """
 
 from __future__ import annotations
@@ -32,7 +36,9 @@ from repro.isa.trace import WarpOp
 _OPCODES = list(OpClass)
 _OP_INDEX = {op: i for i, op in enumerate(_OPCODES)}
 
-FORMAT_VERSION = 1
+#: Bumped to 2 when the explicit ``has_addrs`` flag was added; version-1
+#: files decoded ``addrs=()`` as ``addrs=None`` and are rejected.
+FORMAT_VERSION = 2
 
 
 def save_trace(trace: KernelTrace, path: str | Path) -> None:
@@ -43,6 +49,7 @@ def save_trace(trace: KernelTrace, path: str | Path) -> None:
     src_off: list[int] = [0]
     addrs: list[int] = []
     addr_off: list[int] = [0]
+    has_addrs: list[int] = []
     actives: list[int] = []
     warp_bounds: list[int] = [0]
     total = 0
@@ -56,6 +63,7 @@ def save_trace(trace: KernelTrace, path: str | Path) -> None:
                 if op.addrs is not None:
                     addrs.extend(op.addrs)
                 addr_off.append(len(addrs))
+                has_addrs.append(op.addrs is not None)
                 actives.append(op.active)
                 total += 1
             warp_bounds.append(total)
@@ -78,6 +86,7 @@ def save_trace(trace: KernelTrace, path: str | Path) -> None:
         src_off=np.asarray(src_off, dtype=np.int64),
         addrs=np.asarray(addrs, dtype=np.int64),
         addr_off=np.asarray(addr_off, dtype=np.int64),
+        has_addrs=np.asarray(has_addrs, dtype=np.uint8),
         active=np.asarray(actives, dtype=np.uint8),
         warp_bounds=np.asarray(warp_bounds, dtype=np.int64),
     )
@@ -101,6 +110,7 @@ def load_trace(path: str | Path) -> KernelTrace:
         src_off = data["src_off"]
         addrs = data["addrs"]
         addr_off = data["addr_off"]
+        has_addrs = data["has_addrs"]
         active = data["active"]
         warp_bounds = data["warp_bounds"]
 
@@ -112,7 +122,7 @@ def load_trace(path: str | Path) -> KernelTrace:
             op=opc,
             dst=None if dst[i] == 0 else int(dst[i]) - 1,
             srcs=tuple(int(x) for x in srcs[s0:s1]),
-            addrs=tuple(int(x) for x in addrs[a0:a1]) if a1 > a0 else None,
+            addrs=tuple(int(x) for x in addrs[a0:a1]) if has_addrs[i] else None,
             active=int(active[i]),
         )
 

@@ -33,8 +33,12 @@ class WarpOp:
         srcs: Virtual source registers (address and data operands).
         addrs: Per-active-thread byte addresses for memory instructions,
             ``None`` otherwise.  ``len(addrs) == active``.
-        active: Number of active threads (1..32).  Control-flow divergence
-            is represented by emitting ops with reduced active counts.
+        active: Number of active threads.  Control-flow divergence is
+            represented by emitting ops with reduced active counts; a
+            memory op may be fully predicated off (``active == 0`` with
+            ``addrs == ()``), in which case it still occupies an issue
+            slot but touches no memory.  Non-memory ops require at least
+            one active thread.
     """
 
     op: OpClass
@@ -44,17 +48,24 @@ class WarpOp:
     active: int = WARP_SIZE
 
     def __post_init__(self) -> None:
-        if not 1 <= self.active <= WARP_SIZE:
-            raise ValueError(f"active thread count {self.active} outside [1, {WARP_SIZE}]")
         if self.op.is_memory:
+            if not 0 <= self.active <= WARP_SIZE:
+                raise ValueError(
+                    f"active thread count {self.active} outside [0, {WARP_SIZE}]"
+                )
             if self.addrs is None:
                 raise ValueError(f"{self.op} requires per-thread addresses")
             if len(self.addrs) != self.active:
                 raise ValueError(
                     f"{self.op}: {len(self.addrs)} addresses for {self.active} active threads"
                 )
-        elif self.addrs is not None:
-            raise ValueError(f"{self.op} must not carry addresses")
+        else:
+            if not 1 <= self.active <= WARP_SIZE:
+                raise ValueError(
+                    f"active thread count {self.active} outside [1, {WARP_SIZE}]"
+                )
+            if self.addrs is not None:
+                raise ValueError(f"{self.op} must not carry addresses")
 
     @property
     def regs_read(self) -> tuple[int, ...]:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.isa.kernel import KernelTrace, LaunchConfig
 from repro.isa.trace import WARP_SIZE
-from repro.kernels.base import PaddedWarp, build_kernel_trace, coalesced, region, require_scale
+from repro.kernels.base import PaddedWarp, build_kernel_trace, region, require_scale
 
 NAME = "dgemm"
 TARGET_REGS = 57

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.isa.kernel import KernelTrace, LaunchConfig
 from repro.isa.trace import WARP_SIZE
-from repro.kernels.base import PaddedWarp, build_kernel_trace, coalesced, require_scale, region
+from repro.kernels.base import PaddedWarp, build_kernel_trace, require_scale, region
 
 NAME = "matrixmul"
 TARGET_REGS = 17

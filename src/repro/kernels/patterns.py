@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.isa.builder import WarpBuilder
 from repro.isa.trace import WARP_SIZE
 
-from repro.kernels.base import broadcast, coalesced
+from repro.kernels.base import coalesced
 
 
 def stream_mac(

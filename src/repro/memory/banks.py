@@ -149,7 +149,7 @@ class PartitionedBanks:
             for w in words:
                 b = w % NUM_BANKS
                 bank_counts[b] = bank_counts.get(b, 0) + 1
-            mem_max = max(bank_counts.values())
+            mem_max = max(bank_counts.values(), default=0)
             rows = len({(shared_base + a) // BANK_WIDTH for a in op.addrs})
         elif op.op.is_memory:  # global / local through the cache
             n_lines = len(segments) if segments is not None else 1

@@ -1,0 +1,117 @@
+"""SimResult (de)serialization for the on-disk artifact cache.
+
+The paper's methodology is "trace once, simulate many configurations"
+(Section 5.1); the artifact cache extends that to "simulate once, report
+many times".  A :class:`~repro.sm.result.SimResult` is a small bundle of
+counters plus its :class:`~repro.core.partition.MemoryPartition`, so we
+serialize to JSON: human-inspectable, diffable, and exact for the
+integer counters.  Cycle counts are floats; Python's ``json`` emits
+``repr``-faithful floats, so the round trip is bit-exact.
+
+``load_result(save_result(r))`` reproduces ``r`` field for field; the
+round trip is verified by unit test.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+from pathlib import Path
+
+from repro.core.partition import DesignStyle, MemoryPartition
+from repro.memory.banks import ConflictHistogram
+from repro.memory.cache import CacheStats
+from repro.sm.result import EnergyCounts, SimResult
+
+#: Bump whenever the SimResult schema changes; cached entries written
+#: under another version are treated as stale and regenerated.
+RESULT_FORMAT_VERSION = 1
+
+
+def _counter_dict(obj) -> dict:
+    return {f.name: getattr(obj, f.name) for f in fields(obj)}
+
+
+def _counter_from_dict(cls, d: dict):
+    return cls(**{f.name: d[f.name] for f in fields(cls)})
+
+
+def partition_to_dict(p: MemoryPartition) -> dict:
+    return {
+        "style": p.style.value,
+        "rf_bytes": p.rf_bytes,
+        "smem_bytes": p.smem_bytes,
+        "cache_bytes": p.cache_bytes,
+    }
+
+
+def partition_from_dict(d: dict) -> MemoryPartition:
+    return MemoryPartition(
+        style=DesignStyle(d["style"]),
+        rf_bytes=d["rf_bytes"],
+        smem_bytes=d["smem_bytes"],
+        cache_bytes=d["cache_bytes"],
+    )
+
+
+def result_to_dict(result: SimResult) -> dict:
+    """Encode one simulation outcome as a JSON-compatible dict."""
+    return {
+        "version": RESULT_FORMAT_VERSION,
+        "kernel": result.kernel,
+        "partition": partition_to_dict(result.partition),
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "resident_ctas": result.resident_ctas,
+        "resident_threads": result.resident_threads,
+        "regs_per_thread": result.regs_per_thread,
+        "bank_conflict_cycles": result.bank_conflict_cycles,
+        "conflict_histogram": _counter_dict(result.conflict_histogram),
+        "cache_stats": _counter_dict(result.cache_stats),
+        "dram_accesses": result.dram_accesses,
+        "dram_bytes": result.dram_bytes,
+        "energy_counts": _counter_dict(result.energy_counts),
+        "limiting_resource": result.limiting_resource,
+        "notes": result.notes,
+    }
+
+
+def result_from_dict(d: dict) -> SimResult:
+    """Decode :func:`result_to_dict` output.
+
+    Raises:
+        ValueError: If the dict was written under another schema version.
+    """
+    if d.get("version") != RESULT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported SimResult format version {d.get('version')!r}"
+        )
+    return SimResult(
+        kernel=d["kernel"],
+        partition=partition_from_dict(d["partition"]),
+        cycles=d["cycles"],
+        instructions=d["instructions"],
+        resident_ctas=d["resident_ctas"],
+        resident_threads=d["resident_threads"],
+        regs_per_thread=d["regs_per_thread"],
+        bank_conflict_cycles=d["bank_conflict_cycles"],
+        conflict_histogram=_counter_from_dict(
+            ConflictHistogram, d["conflict_histogram"]
+        ),
+        cache_stats=_counter_from_dict(CacheStats, d["cache_stats"]),
+        dram_accesses=d["dram_accesses"],
+        dram_bytes=d["dram_bytes"],
+        energy_counts=_counter_from_dict(EnergyCounts, d["energy_counts"]),
+        limiting_resource=d["limiting_resource"],
+        notes=d["notes"],
+    )
+
+
+def save_result(result: SimResult, path: str | Path) -> None:
+    """Write one simulation outcome to ``path`` (JSON)."""
+    Path(path).write_text(json.dumps(result_to_dict(result)))
+
+
+def load_result(path: str | Path) -> SimResult:
+    """Read a simulation outcome written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))

@@ -21,7 +21,7 @@ from repro.memory.cache import DataCache
 from repro.memory.coalescer import coalesce_lines, coalesce_sectors
 from repro.memory.dram import DRAMChannel
 from repro.sm.config import SMConfig
-from repro.sm.cta_scheduler import CTAScheduler, LaunchError, ResidentCTA
+from repro.sm.cta_scheduler import CTAScheduler, ResidentCTA
 from repro.sm.result import EnergyCounts, SimResult
 
 
@@ -184,7 +184,10 @@ def simulate(
             else:
                 segments = coalesce_lines(op.addrs, line_bytes)
                 access = banks.access(op, segments=segments)
-                counts.tag_lookups += len(segments)
+                if cache.enabled:
+                    # A 0 KB cache has no tag array, so a disabled cache
+                    # must not accrue tag-lookup energy.
+                    counts.tag_lookups += len(segments)
             penalty = access.penalty
             port_start = issue_done if issue_done > mem_port_free else mem_port_free
             data_ready = port_start + penalty

@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.compiler import max_live_registers, schedule_registers
 from repro.compiler.regalloc import Fill, Rewrite, Spill
-from repro.isa import OpClass, WarpBuilder
+from repro.isa import WarpBuilder
 
 
 def _shape(ops):

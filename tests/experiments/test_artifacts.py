@@ -1,0 +1,129 @@
+"""DiskCache behaviour: hits, misses, corruption, staleness, atomicity."""
+
+import json
+
+from repro.experiments.artifacts import DiskCache, cache_key_digest
+from repro.experiments.runner import Runner
+from repro.kernels import get_benchmark
+
+
+class TestKeyDigest:
+    def test_deterministic_and_order_insensitive(self):
+        a = cache_key_digest(("sim", 1, {"b": 2, "a": 1}))
+        b = cache_key_digest(("sim", 1, {"a": 1, "b": 2}))
+        assert a == b
+        assert len(a) == 64
+
+    def test_version_changes_the_path(self, tmp_path):
+        # A format bump must map to a different file, never a mis-read.
+        cache = DiskCache(tmp_path)
+        k1 = ("sim", 1, "needle")
+        k2 = ("sim", 2, "needle")
+        assert cache.result_path(k1) != cache.result_path(k2)
+
+
+class TestTraceEntries:
+    def test_round_trip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        trace = get_benchmark("vectoradd").build("tiny")
+        cache.put_trace(("t", 1), trace)
+        back = cache.get_trace(("t", 1))
+        assert back is not None
+        assert back.name == trace.name
+        assert back.total_ops == trace.total_ops
+        assert back.launch == trace.launch
+        assert cache.stats.trace_hits == 1
+
+    def test_miss_counted(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get_trace(("absent",)) is None
+        assert cache.stats.trace_misses == 1
+
+    def test_corrupt_entry_dropped_and_regenerated(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = ("t", 1)
+        cache.put_trace(key, get_benchmark("vectoradd").build("tiny"))
+        cache.trace_path(key).write_bytes(b"not an npz file")
+        assert cache.get_trace(key) is None  # dropped, not crashed
+        assert cache.stats.invalidated == 1
+        assert not cache.trace_path(key).exists()
+
+
+class TestResultEntries:
+    def test_round_trip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        result = Runner("tiny").baseline("vectoradd")
+        cache.put_result(("r", 1), result)
+        assert cache.get_result(("r", 1)) == result
+
+    def test_truncated_json_dropped(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        result = Runner("tiny").baseline("vectoradd")
+        cache.put_result(("r", 1), result)
+        path = cache.result_path(("r", 1))
+        path.write_text(path.read_text()[:40])  # simulate a killed writer
+        assert cache.get_result(("r", 1)) is None
+        assert cache.stats.invalidated == 1
+
+    def test_stale_schema_version_dropped(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        result = Runner("tiny").baseline("vectoradd")
+        cache.put_result(("r", 1), result)
+        path = cache.result_path(("r", 1))
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        assert cache.get_result(("r", 1)) is None
+        assert cache.stats.invalidated == 1
+
+
+class TestMetaEntries:
+    def test_round_trip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put_meta(("m",), {"x": 1})
+        assert cache.get_meta(("m",)) == {"x": 1}
+
+    def test_non_object_payload_dropped(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put_meta(("m",), {"x": 1})
+        cache.meta_path(("m",)).write_text("[1, 2]")
+        assert cache.get_meta(("m",)) is None
+        assert cache.stats.invalidated == 1
+
+
+class TestStats:
+    def test_summary_mentions_regeneration(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put_meta(("m",), {"x": 1})
+        cache.meta_path(("m",)).write_text("garbage")
+        cache.get_meta(("m",))
+        s = cache.stats.summary()
+        assert "regenerated" in s
+        assert cache.stats.hits == 0 and cache.stats.misses == 1
+
+    def test_entry_count_ignores_temp_files(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put_meta(("m",), {"x": 1})
+        (tmp_path / "meta" / ".1234-leftover.json").write_text("{}")
+        assert cache.entry_count() == {"traces": 0, "results": 0, "meta": 1}
+
+
+class TestRunnerIntegration:
+    def test_fresh_runner_reuses_disk_artifacts(self, tmp_path):
+        cold = Runner("tiny", cache=DiskCache(tmp_path))
+        ref = cold.baseline("vectoradd")
+        warm = Runner("tiny", cache=DiskCache(tmp_path))
+        assert warm.baseline("vectoradd") == ref
+        assert warm.cache.stats.result_hits == 1
+        # The sim was answered from disk: no trace rebuild either way.
+        assert warm.cache.stats.trace_misses == 0
+
+    def test_corrupted_entry_recomputed_transparently(self, tmp_path):
+        cold = Runner("tiny", cache=DiskCache(tmp_path))
+        ref = cold.baseline("vectoradd")
+        cache = DiskCache(tmp_path)
+        key = cold._sim_disk_key(cold.sim_key("vectoradd", ref.partition))
+        cache.result_path(key).write_text("garbage")
+        warm = Runner("tiny", cache=cache)
+        assert warm.baseline("vectoradd") == ref
+        assert cache.stats.invalidated == 1

@@ -1,8 +1,13 @@
 """Round-trip tests for trace serialization."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.isa.io import load_trace, save_trace
+from repro.isa.kernel import CTATrace, KernelTrace, LaunchConfig
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import WarpOp
 from repro.kernels import get_benchmark
 
 
@@ -37,6 +42,65 @@ class TestRoundTrip:
         b = simulate(compile_kernel(load_trace(path)), partitioned_baseline())
         assert a.cycles == b.cycles
         assert a.dram_accesses == b.dram_accesses
+
+    def test_empty_address_tuple_survives(self, tmp_path):
+        # A fully-predicated memory op carries addrs=() (present but
+        # empty); the v1 format decoded it as None because only the
+        # offset arithmetic (a1 > a0) reconstructed presence.
+        warp = [
+            WarpOp(op=OpClass.ALU, dst=0, srcs=()),
+            WarpOp(op=OpClass.LOAD_GLOBAL, dst=1, srcs=(0,), addrs=(), active=0),
+            WarpOp(op=OpClass.STORE_GLOBAL, srcs=(1,), addrs=(64,), active=1),
+        ]
+        trace = KernelTrace(
+            "predicated",
+            LaunchConfig(threads_per_cta=32, num_ctas=1),
+            [CTATrace([warp])],
+        )
+        path = tmp_path / "predicated.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        ops = loaded.ctas[0].warps[0]
+        assert ops[1].addrs == ()
+        assert ops[1].active == 0
+        assert _traces_equal(trace, loaded)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.builds(
+                    WarpOp,
+                    op=st.just(OpClass.ALU),
+                    dst=st.integers(0, 7),
+                    srcs=st.tuples(st.integers(0, 7)),
+                ),
+                st.integers(0, 4).flatmap(
+                    lambda n: st.builds(
+                        WarpOp,
+                        op=st.sampled_from(
+                            [OpClass.LOAD_GLOBAL, OpClass.STORE_GLOBAL]
+                        ),
+                        srcs=st.just((0,)),
+                        addrs=st.just(tuple(128 * i for i in range(n))),
+                        active=st.just(n),
+                    )
+                ),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_roundtrip_property(self, ops, tmp_path_factory):
+        trace = KernelTrace(
+            "prop",
+            LaunchConfig(threads_per_cta=32, num_ctas=1),
+            [CTATrace([list(ops)])],
+        )
+        path = tmp_path_factory.mktemp("io") / "prop.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert _traces_equal(trace, loaded)
 
     def test_version_check(self, tmp_path):
         import json

@@ -1,0 +1,65 @@
+"""SimResult / MemoryPartition (de)serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.core import fermi_like, partitioned_baseline, partitioned_design
+from repro.experiments.runner import Runner
+from repro.sm.serialize import (
+    RESULT_FORMAT_VERSION,
+    load_result,
+    partition_from_dict,
+    partition_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Runner("tiny").baseline("needle")
+
+
+class TestPartitionRoundTrip:
+    @pytest.mark.parametrize(
+        "partition",
+        [partitioned_baseline(), fermi_like(0), fermi_like(1), partitioned_design(64, 128, 192)],
+        ids=["baseline", "fermi0", "fermi1", "custom"],
+    )
+    def test_exact(self, partition):
+        assert partition_from_dict(partition_to_dict(partition)) == partition
+
+    def test_json_compatible(self):
+        json.dumps(partition_to_dict(partitioned_baseline()))
+
+
+class TestResultRoundTrip:
+    def test_field_for_field(self, result):
+        back = result_from_dict(result_to_dict(result))
+        assert back == result
+
+    def test_dict_is_json_exact(self, result):
+        # Through an actual JSON encode/decode, not just dicts: float
+        # cycle counts must survive bit-exactly.
+        back = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+        assert back.cycles == result.cycles
+        assert back == result
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = tmp_path / "r.json"
+        save_result(result, path)
+        assert load_result(path) == result
+
+    def test_version_mismatch_rejected(self, result):
+        stale = result_to_dict(result)
+        stale["version"] = RESULT_FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="format version"):
+            result_from_dict(stale)
+
+    def test_missing_version_rejected(self, result):
+        stale = result_to_dict(result)
+        del stale["version"]
+        with pytest.raises(ValueError, match="format version"):
+            result_from_dict(stale)

@@ -206,6 +206,17 @@ class TestCounters:
         assert c.cache_row_reads == 8 * 8
         assert c.dram_bits == r.dram_bytes * 8
 
+    def test_zero_cache_partition_records_no_tag_lookups(self):
+        # Regression: a 0 KB cache has no tag array, yet the simulator
+        # used to count one tag lookup per coalesced line and the energy
+        # model then priced tag energy for hardware that does not exist.
+        k = compiled(single_warp_kernel(warp_streaming_loads(8)))
+        r = simulate(k, partitioned_design(256, 512, 0))
+        assert r.energy_counts.tag_lookups == 0
+        assert r.energy_counts.cache_rows == 0
+        # The cached-path accounting is unchanged when a cache exists.
+        assert simulate(k, BASE).energy_counts.tag_lookups == 8
+
     def test_histogram_covers_all_instructions(self):
         k = compiled(single_warp_kernel(warp_alu_independent(50)))
         r = simulate(k, BASE)
