@@ -7,6 +7,13 @@ Commands
 ``run BENCH``
     Simulate one benchmark under a design (baseline / fermi / unified)
     and print timing, traffic, and energy against the baseline.
+``profile BENCH``
+    Simulate one benchmark with the observability layer attached and
+    print the per-cause stall-cycle attribution (plus optional interval
+    metrics / trace JSON).
+``trace BENCH``
+    Write a Chrome trace-event file of one simulation, viewable in
+    Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
 ``experiment ID``
     Regenerate one of the paper's tables/figures (``table1``,
     ``figure2`` ... ``figure11``, ``ablation-cluster-port``,
@@ -20,19 +27,51 @@ Commands
     Capacity sweep (Table 6 style) for one benchmark.
 
 The ``experiment``, ``suite``, and ``validate`` commands accept
-``--jobs N`` (fan independent simulations over N worker processes) and
+``--jobs N`` (fan independent simulations over N worker processes),
 ``--cache-dir PATH`` (persist traces and simulation results across runs
-in a content-addressed on-disk cache); a timing/cache summary is printed
-to stderr after the results.
+in a content-addressed on-disk cache), and ``--metrics-out PATH``
+(deterministic simulation-metrics JSON, byte-identical across ``--jobs``
+settings).  When a cache dir is armed, every run also writes a
+provenance manifest under ``<cache-dir>/manifests/``.
+
+Diagnostics go through :mod:`logging` (logger ``repro``) to stderr;
+``-v/--verbose`` and ``-q/--quiet`` adjust the level per command.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 import time
+from pathlib import Path
 
 from repro.core.partition import KB
+
+log = logging.getLogger("repro")
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """(Re)bind the ``repro`` logger to the current stderr.
+
+    Recreated on every :func:`main` call so test harnesses that swap
+    ``sys.stderr`` between invocations capture the stream they expect.
+    """
+    verbosity = getattr(args, "verbose", 0) - getattr(args, "quiet", 0)
+    if verbosity > 0:
+        level = logging.DEBUG
+    elif verbosity < 0:
+        level = logging.WARNING
+    else:
+        level = logging.INFO
+    for handler in list(log.handlers):
+        log.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    log.addHandler(handler)
+    log.setLevel(level)
+    log.propagate = False
 
 
 def _positive_int(text: str) -> int:
@@ -48,7 +87,11 @@ def _add_executor_flags(p: argparse.ArgumentParser) -> None:
                         "(default 1 = serial; results are identical)")
     p.add_argument("--cache-dir", default=None, metavar="PATH",
                    help="persist traces/results in a content-addressed "
-                        "cache reused across runs and workers")
+                        "cache reused across runs and workers; also "
+                        "writes a run manifest under manifests/")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write deterministic simulation metrics JSON "
+                        "(identical for any --jobs value)")
 
 
 def _make_executor(args: argparse.Namespace):
@@ -59,38 +102,107 @@ def _make_executor(args: argparse.Namespace):
     try:
         cache = DiskCache(args.cache_dir) if args.cache_dir else None
     except OSError as e:
-        print(f"cannot use cache dir {args.cache_dir!r}: {e}", file=sys.stderr)
+        log.error("cannot use cache dir %r: %s", args.cache_dir, e)
         raise SystemExit(2) from e
     runner = Runner(args.scale, cache=cache)
     return Executor(runner, jobs=args.jobs, progress=args.jobs > 1)
 
 
+def _finish_run(
+    args: argparse.Namespace,
+    executor,
+    experiments: list[dict] | None = None,
+    per_experiment: list[dict] | None = None,
+) -> None:
+    """Post-run observability: ``--metrics-out`` file and run manifest.
+
+    The metrics payload holds only simulation-derived numbers (sorted
+    deterministically, no wall-clock), so it is byte-identical between
+    ``--jobs 1`` and ``--jobs N``.  Wall-clock and cache statistics live
+    in the manifest, which is written only when a cache dir is armed.
+    """
+    runner = executor.runner
+    if getattr(args, "metrics_out", None):
+        payload = runner.sim_metrics()
+        if per_experiment is not None:
+            payload["experiments"] = per_experiment
+        Path(args.metrics_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True)
+        )
+        log.info("wrote metrics to %s", args.metrics_out)
+    if runner.cache is not None:
+        from repro.obs.manifest import build_run_manifest
+
+        manifest = build_run_manifest(
+            command=getattr(args, "_cmdline", args.command),
+            scale=args.scale,
+            config=runner.config,
+            jobs=args.jobs,
+            experiments=experiments,
+            executor=executor,
+        )
+        path = runner.cache.put_manifest(manifest)
+        log.info("wrote run manifest to %s", path)
+
+
 def _build_parser() -> argparse.ArgumentParser:
+    # Parent parser: attached to every subcommand so `repro CMD -v`
+    # works (defining -v on the top-level parser instead would let the
+    # subparser's default clobber an already-parsed value).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more diagnostics on stderr")
+    common.add_argument("-q", "--quiet", action="count", default=0,
+                        help="warnings and errors only")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Unified GPU local memory (MICRO 2012), reproduced.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the benchmark suite")
+    sub.add_parser("list", help="list the benchmark suite", parents=[common])
 
-    run = sub.add_parser("run", help="simulate one benchmark")
-    run.add_argument("benchmark")
-    run.add_argument("--design", choices=("baseline", "fermi", "unified"),
-                     default="unified")
-    run.add_argument("--capacity", type=int, default=384, metavar="KB",
-                     help="unified pool capacity in KB (default 384)")
-    run.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
-    run.add_argument("--threads", type=int, default=None,
-                     help="thread target (default: occupancy decides)")
-    run.add_argument("--regs", type=int, default=None,
-                     help="registers/thread (default: no-spill budget)")
+    def _add_design_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("benchmark")
+        p.add_argument("--design", choices=("baseline", "fermi", "unified"),
+                       default="unified")
+        p.add_argument("--capacity", type=int, default=384, metavar="KB",
+                       help="unified pool capacity in KB (default 384)")
+        p.add_argument("--scale", default="small",
+                       choices=("tiny", "small", "paper"))
+        p.add_argument("--threads", type=int, default=None,
+                       help="thread target (default: occupancy decides)")
+        p.add_argument("--regs", type=int, default=None,
+                       help="registers/thread (default: no-spill budget)")
+
+    run = sub.add_parser("run", help="simulate one benchmark", parents=[common])
+    _add_design_flags(run)
     run.add_argument("--show-layout", action="store_true",
                      help="render the design's bank layout (paper Figs 5-6)")
     run.add_argument("--chip", action="store_true",
                      help="scale the result to the 32-SM, 130 W chip (paper 5.2)")
 
-    exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    prof = sub.add_parser("profile", parents=[common],
+                          help="stall-cycle attribution for one benchmark")
+    _add_design_flags(prof)
+    prof.add_argument("--window", type=_positive_int, default=1000, metavar="CYCLES",
+                      help="interval-metrics window width (default 1000)")
+    prof.add_argument("--metrics-out", default=None, metavar="PATH",
+                      help="write interval time-series metrics JSON")
+    prof.add_argument("--trace-out", default=None, metavar="PATH",
+                      help="also write a Chrome trace-event file")
+
+    tr = sub.add_parser("trace", parents=[common],
+                        help="write a Perfetto-compatible warp trace")
+    _add_design_flags(tr)
+    tr.add_argument("--out", default=None, metavar="PATH",
+                    help="trace file path (default <benchmark>.trace.json)")
+    tr.add_argument("--max-events", type=_positive_int, default=1_000_000,
+                    help="trace buffer bound (default 1000000)")
+
+    exp = sub.add_parser("experiment", help="regenerate a table/figure",
+                         parents=[common])
     exp.add_argument("id", help="table1, figure2..figure11, table4..table6, "
                                 "gating, ablation-cluster-port, "
                                 "ablation-no-hierarchy")
@@ -99,22 +211,26 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also render ASCII line plots (figure4 / figure11)")
     _add_executor_flags(exp)
 
-    st = sub.add_parser("suite", help="regenerate every table/figure")
+    st = sub.add_parser("suite", help="regenerate every table/figure",
+                        parents=[common])
     st.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
     st.add_argument("--only", default=None, metavar="IDS",
                     help="comma-separated experiment ids (default: all)")
     _add_executor_flags(st)
 
-    at = sub.add_parser("autotune", help="thread-count autotuning")
+    at = sub.add_parser("autotune", help="thread-count autotuning",
+                        parents=[common])
     at.add_argument("benchmark")
     at.add_argument("--capacity", type=int, default=384, metavar="KB")
     at.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
 
-    val = sub.add_parser("validate", help="run the reproduction scorecard")
+    val = sub.add_parser("validate", help="run the reproduction scorecard",
+                         parents=[common])
     val.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
     _add_executor_flags(val)
 
-    sw = sub.add_parser("sweep", help="capacity sweep for one benchmark")
+    sw = sub.add_parser("sweep", help="capacity sweep for one benchmark",
+                        parents=[common])
     sw.add_argument("benchmark")
     sw.add_argument("--capacities", default="128,192,256,320,384,512",
                     help="comma-separated KB values")
@@ -183,6 +299,103 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_partition(rn, args: argparse.Namespace):
+    """The partition a ``--design`` choice denotes for one benchmark."""
+    from repro.core import partitioned_baseline
+
+    if args.design == "baseline":
+        return partitioned_baseline()
+    if args.design == "fermi":
+        return rn.fermi_best(args.benchmark, regs=args.regs).partition
+    alloc = rn.allocation(
+        args.benchmark,
+        total_kb=args.capacity,
+        thread_target=args.threads,
+        regs=args.regs,
+    )
+    log.info("allocation: %s", alloc.partition.describe())
+    return alloc.partition
+
+
+def _instrumented_run(args: argparse.Namespace, window: int, want_trace: bool,
+                      max_trace_events: int = 1_000_000):
+    """Simulate one benchmark with a Collector attached."""
+    from repro.experiments.runner import Runner
+    from repro.obs import Collector
+    from repro.sm.simulator import simulate
+
+    rn = Runner(args.scale)
+    partition = _resolve_partition(rn, args)
+    ck = rn.compiled(args.benchmark, regs=args.regs)
+    col = Collector(metrics_window=window, trace=want_trace,
+                    max_trace_events=max_trace_events)
+    result = simulate(ck, partition, rn.config,
+                      thread_target=args.threads, collector=col)
+    return result, col
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+    from repro.obs import STALL_CAUSES, write_trace
+
+    window = args.window if args.metrics_out else 0
+    result, col = _instrumented_run(args, window, bool(args.trace_out))
+    print(result.summary())
+    report = col.report()
+    warp_cycles = len(col.warps) * (col.total_cycles or 1.0)
+    rows = [["issue", float(report["issue_cycles"]),
+             100.0 * report["issue_cycles"] / warp_cycles]]
+    rows += [
+        [cause, report["stall_cycles"][cause],
+         100.0 * report["stall_cycles"][cause] / warp_cycles]
+        for cause in STALL_CAUSES
+    ]
+    print(
+        format_table(
+            ["cause", "warp-cycles", "% of warp-cycles"],
+            rows,
+            title=f"Stall attribution: {args.benchmark} ({args.design}), "
+                  f"{report['warps']} warps x {result.cycles:.0f} cycles",
+        )
+    )
+    errors = col.conservation_errors()
+    if errors:
+        log.error("stall attribution lost cycles:\n%s", "\n".join(errors[:5]))
+        return 1
+    log.info("conservation: issue + stalls == %d warps x %.0f cycles exactly",
+             report["warps"], col.total_cycles)
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            json.dumps(col.metrics_payload(), indent=2, sort_keys=True)
+        )
+        log.info("wrote interval metrics to %s", args.metrics_out)
+    if args.trace_out:
+        write_trace(col.trace_payload(), args.trace_out)
+        log.info("wrote trace to %s", args.trace_out)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import validate_trace, write_trace
+
+    result, col = _instrumented_run(args, 0, True,
+                                    max_trace_events=args.max_events)
+    payload = col.trace_payload()
+    errors = validate_trace(payload)
+    if errors:
+        log.error("invalid trace payload:\n%s", "\n".join(errors[:5]))
+        return 1
+    out = args.out or f"{args.benchmark}.trace.json"
+    write_trace(payload, out)
+    dropped = payload["otherData"]["droppedEvents"]
+    print(f"{args.benchmark}: {result.cycles:.0f} cycles, "
+          f"{len(payload['traceEvents'])} trace events -> {out}"
+          + (f" ({dropped} dropped; raise --max-events)" if dropped else ""))
+    print("open in https://ui.perfetto.dev or chrome://tracing "
+          "(1 us rendered = 1 SM cycle)")
+    return 0
+
+
 def _experiment_registry(scale: str) -> dict:
     """Experiment id -> run callable taking an ``executor=`` keyword.
 
@@ -237,11 +450,15 @@ def _experiment_registry(scale: str) -> dict:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     registry = _experiment_registry(args.scale)
     if args.id not in registry:
-        print(f"unknown experiment {args.id!r}; choose from: "
-              f"{', '.join(sorted(registry))}", file=sys.stderr)
+        log.error("unknown experiment %r; choose from: %s",
+                  args.id, ", ".join(sorted(registry)))
         return 2
     executor = _make_executor(args)
+    before = executor.runner.sim_keys()
+    t0 = time.perf_counter()
     result = registry[args.id](executor=executor)
+    dt = time.perf_counter() - t0
+    delta = executor.runner.sim_keys() - before
     print(result.format())
     if getattr(args, "plot", False):
         from repro.experiments import plots
@@ -253,7 +470,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         elif args.id == "figure11":
             print()
             print(plots.plot_figure11(result))
-    print(executor.summary(), file=sys.stderr)
+    log.info("%s", executor.summary())
+    _finish_run(
+        args,
+        executor,
+        experiments=[{"id": args.id, "seconds": dt}],
+        per_experiment=[
+            {"id": args.id, **executor.runner.sim_metrics(keys=delta)["totals"]}
+        ],
+    )
     return 0
 
 
@@ -268,25 +493,45 @@ SUITE_ORDER = (
 
 def _cmd_suite(args: argparse.Namespace) -> int:
     registry = _experiment_registry(args.scale)
-    ids = SUITE_ORDER if args.only is None else tuple(args.only.split(","))
+    if args.only is None:
+        ids = SUITE_ORDER
+    else:
+        ids = tuple(tok.strip() for tok in args.only.split(",") if tok.strip())
     unknown = [i for i in ids if i not in registry]
     if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        log.error("unknown experiment(s): %s", ", ".join(unknown))
+        return 2
+    if not ids:
+        log.error("--only %r selects no experiments; choose from: %s",
+                  args.only, ", ".join(sorted(registry)))
         return 2
     executor = _make_executor(args)
+    runner = executor.runner
     timings: list[tuple[str, float]] = []
+    per_experiment: list[dict] = []
     for exp_id in ids:
+        before = runner.sim_keys()
         t0 = time.perf_counter()
         result = registry[exp_id](executor=executor)
         dt = time.perf_counter() - t0
         timings.append((exp_id, dt))
+        delta = runner.sim_keys() - before
+        per_experiment.append(
+            {"id": exp_id, **runner.sim_metrics(keys=delta)["totals"]}
+        )
         print(result.format())
         print()
-        print(f"[suite] {exp_id}: {dt:.2f}s", file=sys.stderr)
+        log.info("[suite] %s: %.2fs", exp_id, dt)
     total = sum(dt for _, dt in timings)
-    print(f"[suite] {len(ids)} experiments in {total:.2f}s "
-          f"(slowest: {max(timings, key=lambda t: t[1])[0]})", file=sys.stderr)
-    print(executor.summary(), file=sys.stderr)
+    log.info("[suite] %d experiments in %.2fs (slowest: %s)",
+             len(ids), total, max(timings, key=lambda t: t[1])[0])
+    log.info("%s", executor.summary())
+    _finish_run(
+        args,
+        executor,
+        experiments=[{"id": i, "seconds": dt} for i, dt in timings],
+        per_experiment=per_experiment,
+    )
     return 0
 
 
@@ -337,15 +582,21 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     executor = _make_executor(args)
     card = validate.run(executor=executor)
     print(card.format())
-    print(executor.summary(), file=sys.stderr)
+    log.info("%s", executor.summary())
+    _finish_run(args, executor)
     return 0 if card.passed else 1
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    args = _build_parser().parse_args(raw)
+    args._cmdline = "repro " + " ".join(raw)
+    _configure_logging(args)
     dispatch = {
         "list": lambda: _cmd_list(),
         "run": lambda: _cmd_run(args),
+        "profile": lambda: _cmd_profile(args),
+        "trace": lambda: _cmd_trace(args),
         "experiment": lambda: _cmd_experiment(args),
         "suite": lambda: _cmd_suite(args),
         "autotune": lambda: _cmd_autotune(args),

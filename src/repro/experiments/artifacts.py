@@ -13,6 +13,9 @@ Layout under the cache root::
     results/<sha256>.json  -- via :mod:`repro.sm.serialize`
     meta/<sha256>.json     -- small JSON artefacts (compile summaries,
                               unified allocations)
+    manifests/run-*.json   -- provenance records of the runs that wrote
+                              here (:mod:`repro.obs.manifest`); named by
+                              timestamp + digest, never looked up by key
 
 Keys are canonical JSON renderings of plain-data tuples hashed with
 SHA-256, and every key embeds the relevant format version
@@ -181,6 +184,21 @@ class DiskCache:
         tmp = path.with_name(f".{os.getpid()}-{path.name}")
         tmp.write_text(json.dumps(payload))
         self._replace(tmp, path)
+
+    # -- run manifests ------------------------------------------------------
+    def put_manifest(self, manifest: dict) -> Path:
+        """Write a run's provenance record next to the artifacts it made."""
+        from repro.obs.manifest import default_manifest_name, write_manifest
+
+        directory = self.root / "manifests"
+        directory.mkdir(parents=True, exist_ok=True)
+        return write_manifest(manifest, directory / default_manifest_name(manifest))
+
+    def manifest_paths(self) -> list[Path]:
+        directory = self.root / "manifests"
+        if not directory.is_dir():
+            return []
+        return sorted(directory.glob("run-*.json"))
 
     # -- maintenance -------------------------------------------------------
     def entry_count(self) -> dict[str, int]:

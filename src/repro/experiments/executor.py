@@ -27,8 +27,8 @@ results; anything else propagates out of :meth:`Executor.prime`.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
-import sys
 import time
 from dataclasses import dataclass, field, fields
 from typing import Callable
@@ -36,6 +36,8 @@ from typing import Callable
 from repro.core.partition import MemoryPartition
 from repro.experiments.runner import EXPECTED_ERRORS, Runner
 from repro.sm import SMConfig
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -249,10 +251,13 @@ class Executor:
     def _note(self, done: int, total: int, outcome: JobOutcome) -> None:
         if self.progress:
             suffix = f"  [{outcome.error}]" if outcome.error else ""
-            print(
-                f"  [{done}/{total}] {outcome.job.describe()} "
-                f"{outcome.seconds:.2f}s{suffix}",
-                file=sys.stderr,
+            log.info(
+                "  [%d/%d] %s %.2fs%s",
+                done,
+                total,
+                outcome.job.describe(),
+                outcome.seconds,
+                suffix,
             )
 
     def _prime_serial(self, jobs: list[Job], report: ExecutionReport) -> None:
@@ -305,6 +310,14 @@ class Executor:
         lines.append(
             f"total: {n} jobs, {total_wall:.2f}s wall, {total_work:.2f}s of work"
         )
+        totals = self.runner.sim_metrics()["totals"]
+        if totals["simulations"]:
+            lines.append(
+                f"simulated: {totals['simulations']} runs, "
+                f"cache hit rate {totals['cache_hit_rate']:.1%} "
+                f"over {totals['cache_accesses']} accesses, "
+                f"mean DRAM utilisation {totals['mean_dram_utilisation']:.1%}"
+            )
         if self.runner.cache is not None:
             lines.append(self.runner.cache.stats.summary())
         return "\n".join(lines)

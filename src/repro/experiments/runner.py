@@ -40,6 +40,7 @@ from repro.core.allocator import AllocationError, UnifiedAllocation
 from repro.core.partition import KB, MemoryPartition
 from repro.energy import EnergyBreakdown, EnergyModel
 from repro.isa import io as trace_io
+from repro.memory.dram import channel_utilisation
 from repro.isa.kernel import KernelTrace
 from repro.kernels import get_benchmark
 from repro.sm import SMConfig, SimResult, simulate
@@ -483,6 +484,74 @@ class Runner:
         if best is None:
             raise LaunchError(f"{name} fits neither Fermi-like split")
         return best
+
+    # -- observability ----------------------------------------------------
+    def sim_keys(self) -> frozenset:
+        """Snapshot of the memoised simulation keys (for run deltas)."""
+        return frozenset(self._sims)
+
+    def sim_metrics(self, keys=None) -> dict:
+        """Deterministic metrics over the memoised simulations.
+
+        Records are ordered by the ``repr`` of the memo key and carry no
+        wall-clock, so the payload is byte-identical between serial and
+        forked runs of the same sweep -- the ``--metrics-out`` contract
+        (wall-clock belongs in the run manifest instead).  ``keys``
+        restricts the aggregate: pass the delta against a
+        :meth:`sim_keys` snapshot to scope one experiment.
+        """
+        if keys is None:
+            selected = dict(self._sims)
+        else:
+            selected = {k: self._sims[k] for k in keys if k in self._sims}
+        records = []
+        hits = accesses = instructions = dram_bytes = 0
+        util_sum = 0.0
+        for key in sorted(selected, key=repr):
+            r = selected[key]
+            # key[-1] is the SMConfig fingerprint this simulation ran
+            # under; it carries the DRAM bandwidth utilisation is
+            # graded against.
+            bpc = dict(key[-1])["dram_bytes_per_cycle"]
+            util = channel_utilisation(r.dram_bytes, bpc, r.cycles)
+            stats = r.cache_stats
+            records.append(
+                {
+                    "kernel": r.kernel,
+                    "partition": partition_to_dict(r.partition),
+                    "regs": key[1],
+                    "thread_target": key[3],
+                    "cycles": r.cycles,
+                    "instructions": r.instructions,
+                    "ipc": r.ipc,
+                    "resident_threads": r.resident_threads,
+                    "bank_conflict_cycles": r.bank_conflict_cycles,
+                    "conflict_histogram": r.conflict_histogram.to_dict(),
+                    "cache": stats.to_dict(),
+                    "dram_accesses": r.dram_accesses,
+                    "dram_bytes": r.dram_bytes,
+                    "dram_utilisation": util,
+                    "stall_cycles": r.stall_cycles,
+                }
+            )
+            hits += stats.read_hits + stats.write_hits
+            accesses += stats.accesses
+            instructions += r.instructions
+            dram_bytes += r.dram_bytes
+            util_sum += util
+        n = len(records)
+        return {
+            "schema": "repro.obs.run_metrics/1",
+            "totals": {
+                "simulations": n,
+                "instructions": instructions,
+                "cache_accesses": accesses,
+                "cache_hit_rate": hits / accesses if accesses else 0.0,
+                "dram_bytes": dram_bytes,
+                "mean_dram_utilisation": util_sum / n if n else 0.0,
+            },
+            "simulations": records,
+        }
 
     # -- pricing ----------------------------------------------------------
     def priced(self, result: SimResult, baseline: SimResult | None = None) -> BenchmarkRun:

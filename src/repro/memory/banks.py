@@ -116,6 +116,16 @@ class ConflictHistogram:
             ">4": self.over_4 / n,
         }
 
+    def to_dict(self) -> dict[str, int]:
+        """Raw bucket counts, for metrics/profile JSON export."""
+        return {
+            "at_most_1": self.at_most_1,
+            "exactly_2": self.exactly_2,
+            "exactly_3": self.exactly_3,
+            "exactly_4": self.exactly_4,
+            "over_4": self.over_4,
+        }
+
 
 def _reg_bank_counts(regs: tuple[int, ...]) -> list[int]:
     counts = [0] * BANKS_PER_CLUSTER

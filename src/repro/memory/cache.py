@@ -47,6 +47,17 @@ class CacheStats:
     def read_hit_rate(self) -> float:
         return self.read_hits / self.reads if self.reads else 0.0
 
+    def to_dict(self) -> dict:
+        """Counters plus derived rates, for metrics/manifest JSON export."""
+        return {
+            "read_hits": self.read_hits,
+            "read_misses": self.read_misses,
+            "write_hits": self.write_hits,
+            "write_misses": self.write_misses,
+            "accesses": self.accesses,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class DataCache:
     """4-way write-through, no-write-allocate, LRU data cache."""

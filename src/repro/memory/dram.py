@@ -27,6 +27,7 @@ class DRAMChannel:
         bytes_per_cycle: float = 8.0,
         latency: int = 400,
         transaction_bytes: int = 32,
+        observer=None,
     ) -> None:
         if bytes_per_cycle <= 0:
             raise ValueError("bytes_per_cycle must be positive")
@@ -37,6 +38,10 @@ class DRAMChannel:
         self.bytes_per_cycle = bytes_per_cycle
         self.latency = latency
         self.transaction_bytes = transaction_bytes
+        #: Optional ``observer(busy_start, busy_end, nbytes)`` called per
+        #: request with the channel's bus-busy interval -- the hook the
+        #: observability layer uses for per-window DRAM utilisation.
+        self.observer = observer
         self.free_at = 0.0
         self.accesses = 0
         self.bytes_transferred = 0
@@ -61,6 +66,8 @@ class DRAMChannel:
         self.free_at = start + service
         self.accesses += 1
         self.bytes_transferred += nbytes
+        if self.observer is not None:
+            self.observer(start, self.free_at, nbytes)
         return start + self.latency + service
 
     @property
@@ -69,6 +76,20 @@ class DRAMChannel:
 
     def utilisation(self, total_cycles: float) -> float:
         """Fraction of cycles the channel was transferring data."""
-        if total_cycles <= 0:
-            return 0.0
-        return min(1.0, (self.bytes_transferred / self.bytes_per_cycle) / total_cycles)
+        return channel_utilisation(
+            self.bytes_transferred, self.bytes_per_cycle, total_cycles
+        )
+
+
+def channel_utilisation(
+    bytes_transferred: int, bytes_per_cycle: float, total_cycles: float
+) -> float:
+    """Busy fraction of a channel that moved ``bytes_transferred`` bytes.
+
+    Standalone so a stored :class:`~repro.sm.result.SimResult` (which
+    keeps ``dram_bytes`` and ``cycles`` but not the channel object) can
+    be graded after the fact.
+    """
+    if total_cycles <= 0:
+        return 0.0
+    return min(1.0, (bytes_transferred / bytes_per_cycle) / total_cycles)

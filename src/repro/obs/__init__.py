@@ -1,0 +1,61 @@
+"""Simulator observability: stall attribution, interval metrics, tracing.
+
+The timing simulator (:mod:`repro.sm.simulator`) normally emits only
+end-of-run aggregates.  This package adds the lens the paper's own
+analysis uses -- *where do the cycles go?* -- without perturbing the
+model:
+
+* :class:`~repro.obs.collector.Collector` charges every cycle a warp is
+  not issuing to exactly one stall cause (RAW hazard, bank conflict,
+  DRAM latency, issue-port contention, barrier, deschedule,
+  not-resident), with a conservation invariant: per-warp attributed
+  cycles + issue cycles == total simulated cycles.
+* :class:`~repro.obs.metrics.IntervalSampler` produces a windowed time
+  series of IPC, occupancy, cache hit rate, and DRAM utilisation.
+* :class:`~repro.obs.trace.TraceBuffer` records warp/CTA events in
+  Chrome trace-event JSON, so a run opens directly in Perfetto or
+  ``chrome://tracing``.
+* :mod:`repro.obs.manifest` builds run manifests (config fingerprint,
+  format versions, cache statistics, per-phase wall-clock) for the
+  experiment layer.
+
+Instrumentation is strictly opt-in: ``simulate(...)`` defaults to the
+:data:`NULL_COLLECTOR`, and the hot loop guards every hook behind a
+single ``is not None`` check, so uninstrumented runs pay near-zero cost.
+"""
+
+from repro.obs.collector import (
+    CAUSE_BANK_CONFLICT,
+    CAUSE_BARRIER,
+    CAUSE_DESCHEDULE,
+    CAUSE_ISSUE_PORT,
+    CAUSE_MEMORY,
+    CAUSE_NOT_RESIDENT,
+    CAUSE_RAW,
+    NULL_COLLECTOR,
+    STALL_CAUSES,
+    Collector,
+    NullCollector,
+)
+from repro.obs.metrics import METRICS_SCHEMA, IntervalSampler
+from repro.obs.trace import TRACE_SCHEMA, TraceBuffer, validate_trace, write_trace
+
+__all__ = [
+    "CAUSE_BANK_CONFLICT",
+    "CAUSE_BARRIER",
+    "CAUSE_DESCHEDULE",
+    "CAUSE_ISSUE_PORT",
+    "CAUSE_MEMORY",
+    "CAUSE_NOT_RESIDENT",
+    "CAUSE_RAW",
+    "METRICS_SCHEMA",
+    "NULL_COLLECTOR",
+    "STALL_CAUSES",
+    "TRACE_SCHEMA",
+    "Collector",
+    "IntervalSampler",
+    "NullCollector",
+    "TraceBuffer",
+    "validate_trace",
+    "write_trace",
+]

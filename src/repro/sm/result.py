@@ -58,6 +58,10 @@ class SimResult:
     energy_counts: EnergyCounts
     limiting_resource: str = ""
     notes: dict = field(default_factory=dict)
+    #: Per-cause stall cycles summed across warps (empty unless the run
+    #: was instrumented with a :class:`repro.obs.Collector`).  Keys are
+    #: :data:`repro.obs.STALL_CAUSES`.
+    stall_cycles: dict = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:

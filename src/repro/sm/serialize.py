@@ -25,7 +25,8 @@ from repro.sm.result import EnergyCounts, SimResult
 
 #: Bump whenever the SimResult schema changes; cached entries written
 #: under another version are treated as stale and regenerated.
-RESULT_FORMAT_VERSION = 1
+#: v2: added ``stall_cycles`` (observability layer).
+RESULT_FORMAT_VERSION = 2
 
 
 def _counter_dict(obj) -> dict:
@@ -73,6 +74,7 @@ def result_to_dict(result: SimResult) -> dict:
         "energy_counts": _counter_dict(result.energy_counts),
         "limiting_resource": result.limiting_resource,
         "notes": result.notes,
+        "stall_cycles": result.stall_cycles,
     }
 
 
@@ -104,6 +106,7 @@ def result_from_dict(d: dict) -> SimResult:
         energy_counts=_counter_from_dict(EnergyCounts, d["energy_counts"]),
         limiting_resource=d["limiting_resource"],
         notes=d["notes"],
+        stall_cycles=d["stall_cycles"],
     )
 
 

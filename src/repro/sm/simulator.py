@@ -20,6 +20,11 @@ from repro.memory.banks import make_bank_model
 from repro.memory.cache import DataCache
 from repro.memory.coalescer import coalesce_lines, coalesce_sectors
 from repro.memory.dram import DRAMChannel
+from repro.obs.collector import (
+    CAUSE_BARRIER,
+    CAUSE_MEMORY,
+    CAUSE_RAW,
+)
 from repro.sm.config import SMConfig
 from repro.sm.cta_scheduler import CTAScheduler, ResidentCTA
 from repro.sm.result import EnergyCounts, SimResult
@@ -36,6 +41,10 @@ class _WarpState:
     pc: int = 0
     #: Architectural register -> cycle its pending write completes.
     pending: dict[int, float] = field(default_factory=dict)
+    #: Run-unique warp id (observability track key).
+    wid: int = 0
+    #: Warp index within its CTA.
+    widx: int = 0
 
     def next_ready(self, now: float) -> float:
         """Earliest cycle the next instruction's operands are available."""
@@ -57,6 +66,7 @@ def simulate(
     partition: MemoryPartition,
     config: SMConfig | None = None,
     thread_target: int | None = None,
+    collector=None,
 ) -> SimResult:
     """Run one kernel launch to completion under a memory partition.
 
@@ -67,15 +77,21 @@ def simulate(
         config: SM latencies/bandwidth; defaults to Table 2 values.
         thread_target: Optional cap on resident threads (the paper's
             256..1024 sweeps); ``None`` lets occupancy decide.
+        collector: Optional :class:`repro.obs.Collector` receiving stall
+            attribution, interval metrics, and trace events.  ``None``
+            (or any collector with ``enabled == False``) keeps the hot
+            loop uninstrumented; instrumentation never changes timing.
 
     Returns:
         A :class:`~repro.sm.result.SimResult` with cycles, DRAM traffic,
-        bank-conflict statistics, and energy-relevant event counts.
+        bank-conflict statistics, and energy-relevant event counts (plus
+        per-cause stall totals when a collector was attached).
 
     Raises:
         repro.sm.cta_scheduler.LaunchError: If no CTA fits the partition.
     """
     cfg = config or SMConfig()
+    obs = collector if collector is not None and collector.enabled else None
     scheduler = CTAScheduler(kernel, partition, thread_target)
     banks = make_bank_model(partition, cluster_port=cfg.cluster_port_banks)
     cache = DataCache(
@@ -85,12 +101,14 @@ def simulate(
         bytes_per_cycle=cfg.dram_bytes_per_cycle,
         latency=cfg.dram_latency,
         transaction_bytes=cfg.dram_transaction_bytes,
+        observer=obs.dram_transfer if obs is not None else None,
     )
     counts = EnergyCounts()
 
     # Event heap of (ready_cycle, seq, warp); seq keeps FIFO order among ties.
     heap: list[tuple[float, int, _WarpState]] = []
     seq = 0  # also advanced inline by the deschedule path below
+    warp_serial = 0
 
     def push(w: _WarpState, now: float) -> None:
         nonlocal seq
@@ -98,11 +116,18 @@ def simulate(
         seq += 1
 
     def spawn_cta(now: float) -> bool:
+        nonlocal warp_serial
         resident = scheduler.launch_next()
         if resident is None:
             return False
-        for cw in resident.cta.warps:
-            push(_WarpState(ops=cw.ops, cta=resident), now)
+        if obs is not None:
+            obs.cta_launch(resident.index, now, len(resident.cta.warps))
+        for wi, cw in enumerate(resident.cta.warps):
+            w = _WarpState(ops=cw.ops, cta=resident, wid=warp_serial, widx=wi)
+            warp_serial += 1
+            if obs is not None:
+                obs.spawn(w.wid, resident.index, wi, now)
+            push(w, now)
         return True
 
     live_ctas = 0
@@ -140,19 +165,27 @@ def simulate(
             cta.barrier_count += 1
             w.pc += 1
             issued_until = t + 1
+            if obs is not None:
+                obs.issue(w.wid, "BARRIER", op.srcs, ready, t, t + 1)
             if cta.barrier_count == cta.warps_outstanding:
                 cta.barrier_count = 0
                 waiting = cta.waiting_warps
                 cta.waiting_warps = []
                 release = t + 1 + cfg.barrier_latency
                 for other in (*waiting, w):
+                    if obs is not None:
+                        obs.resume(other.wid, release, CAUSE_BARRIER)
                     if other.pc < len(other.ops):
                         push(other, release)
                     else:
                         cta.warps_outstanding -= 1
                         # A warp whose last instruction is a barrier.
+                        if obs is not None:
+                            obs.complete(other.wid, release)
                 if cta.warps_outstanding == 0:
                     scheduler.retire(cta)
+                    if obs is not None:
+                        obs.cta_retire(cta.index, release)
                     live_ctas -= 1
                     if spawn_cta(release):
                         live_ctas += 1
@@ -163,6 +196,7 @@ def simulate(
         # ---- memory resolution ----------------------------------------
         space = op.op.space
         completion = None
+        wb_cause = CAUSE_RAW  # latency class of this op's writeback (obs)
         if space is None:
             # ALU/SFU/TEX: register-bank conflicts stall operand fetch,
             # and with it the issue port.
@@ -201,11 +235,17 @@ def simulate(
                     for seg in segments:
                         if cache.read_line(seg):
                             done = data_ready + cfg.cache_hit_latency
+                            if obs is not None:
+                                obs.cache_access(data_ready, True)
                         else:
                             done = dram.request(data_ready, line_bytes)
+                            wb_cause = CAUSE_MEMORY
+                            if obs is not None:
+                                obs.cache_access(data_ready, False)
                         if done > completion:
                             completion = done
                 else:
+                    wb_cause = CAUSE_MEMORY
                     for _ in coalesce_sectors(op.addrs):
                         done = dram.request(data_ready, cfg.dram_transaction_bytes)
                         if done > completion:
@@ -215,7 +255,9 @@ def simulate(
                 if cache.enabled:
                     counts.cache_row_writes += access.data_row_accesses
                     for seg in segments:
-                        cache.write_line(seg)
+                        hit = cache.write_line(seg)
+                        if obs is not None:
+                            obs.cache_access(data_ready, hit)
                     # With a cache in front, the memory controller
                     # combines write-through traffic into per-line
                     # bursts: one DRAM access per touched line.
@@ -244,6 +286,21 @@ def simulate(
             if completion is None or completion < issue_done:
                 completion = issue_done  # a result is never early-forwarded
             w.pending[op.dst] = completion
+        if obs is not None:
+            # issue() reads the *old* pending entries for dependency
+            # attribution, so it runs before writeback() (dst may appear
+            # in srcs).
+            obs.issue(w.wid, op.op.name, op.srcs, ready, t, issue_done)
+            if op.dst is not None:
+                if space is None:
+                    cause = CAUSE_MEMORY if op.op is OpClass.TEX else CAUSE_RAW
+                    wb_conflict = 0.0
+                else:
+                    cause = wb_cause
+                    # Memory-pipeline serialisation folded into this
+                    # op's latency: LSU-port queueing + bank conflicts.
+                    wb_conflict = (port_start - issue_done) + penalty
+                obs.writeback(w.wid, op.dst, completion, cause, wb_conflict)
 
         # ---- advance warp ------------------------------------------------
         w.pc += 1
@@ -259,6 +316,8 @@ def simulate(
                     continue
             push(w, issue_done)
             continue
+        if obs is not None:
+            obs.complete(w.wid, issue_done)
         cta = w.cta
         cta.warps_outstanding -= 1
         if cta.warps_outstanding == 0:
@@ -267,6 +326,8 @@ def simulate(
                     f"CTA {cta.index} finished with warps still at a barrier"
                 )
             scheduler.retire(cta)
+            if obs is not None:
+                obs.cta_retire(cta.index, issue_done)
             live_ctas -= 1
             if spawn_cta(issue_done):
                 live_ctas += 1
@@ -278,6 +339,10 @@ def simulate(
 
     counts.dram_bits = dram.bits_transferred
     end = max(issued_until, mem_port_free, dram.free_at)
+    stall_cycles: dict[str, float] = {}
+    if obs is not None:
+        obs.finish(end)
+        stall_cycles = obs.stall_totals()
     return SimResult(
         kernel=kernel.name,
         partition=partition,
@@ -293,4 +358,5 @@ def simulate(
         dram_bytes=dram.bytes_transferred,
         energy_counts=counts,
         limiting_resource=scheduler.limits.limiting_resource,
+        stall_cycles=stall_cycles,
     )

@@ -1,0 +1,149 @@
+"""Stall attribution: conservation, neutrality, and cause semantics."""
+
+import math
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.core import fermi_like, partitioned_baseline, partitioned_design
+from repro.kernels import get_benchmark
+from repro.obs import NULL_COLLECTOR, STALL_CAUSES, Collector
+from repro.obs.collector import (
+    CAUSE_BARRIER,
+    CAUSE_DESCHEDULE,
+    CAUSE_MEMORY,
+    CAUSE_NOT_RESIDENT,
+)
+from repro.sm import SMConfig
+from repro.sm.simulator import simulate
+
+# >= 3 kernels x 3 partitions, spanning barriers (matrixmul, needle),
+# shared memory (needle), streaming (vectoradd), and irregular access
+# (bfs); the no-cache partition forces every global access to DRAM.
+KERNELS = ("vectoradd", "matrixmul", "needle", "bfs")
+PARTITIONS = {
+    "baseline": partitioned_baseline(),
+    "fermi0": fermi_like(0),
+    "nocache": partitioned_design(256, 128, 0),
+}
+
+
+def _compiled(name):
+    return compile_kernel(get_benchmark(name).build("tiny"))
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return {name: _compiled(name) for name in KERNELS}
+
+
+class TestConservation:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("pname", sorted(PARTITIONS))
+    def test_every_cycle_attributed_exactly(self, compiled, kernel, pname):
+        col = Collector()
+        result = simulate(compiled[kernel], PARTITIONS[pname], collector=col)
+        assert col.conservation_errors() == []
+        # The aggregate identity, checked with exact float equality:
+        # issue + stalls == warps * total_cycles.
+        total = col.issue_cycles + math.fsum(
+            math.fsum(ws.stalls.values()) for ws in col.warps.values()
+        )
+        assert total == len(col.warps) * result.cycles
+
+    def test_issue_cycles_equal_instruction_count(self, compiled):
+        col = Collector()
+        result = simulate(compiled["matrixmul"], PARTITIONS["baseline"], collector=col)
+        assert col.issue_cycles == result.instructions
+
+    def test_conservation_requires_finish(self):
+        assert Collector().conservation_errors() == ["finish() was never called"]
+
+    def test_deschedule_config_conserves_and_charges(self, compiled):
+        cfg = SMConfig(deschedule_latency=30, deschedule_threshold=40)
+        col = Collector()
+        simulate(compiled["matrixmul"], PARTITIONS["baseline"], cfg, collector=col)
+        assert col.conservation_errors() == []
+        assert col.stall_totals()[CAUSE_DESCHEDULE] > 0
+
+
+class TestNeutrality:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_instrumentation_never_changes_timing(self, compiled, kernel):
+        plain = simulate(compiled[kernel], PARTITIONS["baseline"])
+        col = Collector(metrics_window=500, trace=True)
+        instrumented = simulate(
+            compiled[kernel], PARTITIONS["baseline"], collector=col
+        )
+        assert instrumented.cycles == plain.cycles
+        assert instrumented.instructions == plain.instructions
+        assert instrumented.dram_bytes == plain.dram_bytes
+
+    def test_null_collector_is_uninstrumented(self, compiled):
+        result = simulate(
+            compiled["vectoradd"], PARTITIONS["baseline"], collector=NULL_COLLECTOR
+        )
+        assert result.stall_cycles == {}
+
+    def test_active_collector_fills_result_stalls(self, compiled):
+        result = simulate(
+            compiled["vectoradd"], PARTITIONS["baseline"], collector=Collector()
+        )
+        assert set(result.stall_cycles) == set(STALL_CAUSES)
+        assert all(v >= 0.0 for v in result.stall_cycles.values())
+
+
+class TestCauseSemantics:
+    def test_barrier_kernel_charges_barrier(self, compiled):
+        col = Collector()
+        simulate(compiled["matrixmul"], PARTITIONS["baseline"], collector=col)
+        assert col.stall_totals()[CAUSE_BARRIER] > 0
+
+    def test_no_cache_charges_memory(self, compiled):
+        col = Collector()
+        simulate(compiled["vectoradd"], PARTITIONS["nocache"], collector=col)
+        assert col.stall_totals()[CAUSE_MEMORY] > 0
+
+    def test_staggered_residency_charged_not_resident(self, compiled):
+        # bfs at tiny scale launches more CTAs than fit at once, so
+        # later warps spend their early cycles not resident.
+        col = Collector()
+        simulate(compiled["bfs"], PARTITIONS["baseline"], collector=col)
+        assert col.stall_totals()[CAUSE_NOT_RESIDENT] > 0
+
+    def test_report_shape(self, compiled):
+        col = Collector()
+        result = simulate(compiled["needle"], PARTITIONS["baseline"], collector=col)
+        report = col.report()
+        assert report["schema"] == "repro.obs.profile/1"
+        assert report["total_cycles"] == result.cycles
+        assert report["conservation_ok"] is True
+        assert set(report["stall_cycles"]) == set(STALL_CAUSES)
+
+
+class TestIntervalMetrics:
+    def test_window_totals_match_run_totals(self, compiled):
+        col = Collector(metrics_window=500)
+        result = simulate(compiled["matrixmul"], PARTITIONS["baseline"], collector=col)
+        payload = col.metrics_payload()
+        samples = payload["samples"]
+        assert payload["window"] == 500
+        assert samples[-1]["end"] >= result.cycles
+        assert sum(s["instructions"] for s in samples) == result.instructions
+        accesses = sum(s["cache_accesses"] for s in samples)
+        assert accesses == result.cache_stats.accesses
+        dram_bytes = sum(s["dram_bytes"] for s in samples)
+        assert dram_bytes == pytest.approx(result.dram_bytes)
+
+    def test_occupancy_and_utilisation_bounded(self, compiled):
+        col = Collector(metrics_window=250)
+        result = simulate(compiled["bfs"], PARTITIONS["baseline"], collector=col)
+        for s in col.metrics_payload()["samples"]:
+            assert 0.0 <= s["dram_utilisation"] <= 1.0
+            assert 0.0 <= s["occupancy"] <= result.resident_threads / 32
+            assert 0.0 <= s["cache_hit_rate"] <= 1.0
+
+    def test_disabled_without_window(self, compiled):
+        col = Collector()
+        simulate(compiled["vectoradd"], PARTITIONS["baseline"], collector=col)
+        assert col.metrics_payload() is None

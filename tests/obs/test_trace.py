@@ -1,0 +1,74 @@
+"""Chrome trace-event buffer, validation, and file round trip."""
+
+import json
+
+from repro.compiler import compile_kernel
+from repro.core import partitioned_baseline
+from repro.kernels import get_benchmark
+from repro.obs import Collector, TraceBuffer, validate_trace, write_trace
+from repro.obs.trace import PID_DRAM, PID_WARPS, TRACE_SCHEMA
+from repro.sm.simulator import simulate
+
+
+class TestTraceBuffer:
+    def test_bounded_with_dropped_count(self):
+        buf = TraceBuffer(max_events=3)
+        for i in range(5):
+            buf.slice(0, 0, f"ev{i}", "issue", float(i), 1.0)
+        payload = buf.to_payload()
+        assert len(payload["traceEvents"]) == 3
+        assert payload["otherData"]["droppedEvents"] == 2
+
+    def test_payload_shape(self):
+        buf = TraceBuffer()
+        buf.process_name(PID_WARPS, "SM warps")
+        buf.slice(PID_WARPS, 7, "ALU", "issue", 10.0, 2.0)
+        buf.instant(PID_WARPS, 7, "complete", "warp", 12.0)
+        payload = buf.to_payload()
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["schema"] == TRACE_SCHEMA
+        assert validate_trace(payload) == []
+
+    def test_validate_catches_malformed_events(self):
+        assert validate_trace({}) == ["traceEvents must be a JSON array"]
+        bad = {
+            "traceEvents": [
+                {"ph": "Z", "name": "x", "pid": 0, "tid": 0, "ts": 0},
+                {"ph": "X", "name": "", "pid": 0, "tid": 0, "ts": 1, "dur": 1},
+                {"ph": "X", "name": "y", "pid": 0, "tid": 0, "ts": -1, "dur": -2},
+                "not-an-object",
+            ]
+        }
+        problems = validate_trace(bad)
+        assert len(problems) >= 4
+
+    def test_file_round_trip(self, tmp_path):
+        buf = TraceBuffer()
+        buf.slice(PID_DRAM, 0, "128B", "dram", 0.0, 16.0)
+        path = tmp_path / "t.json"
+        write_trace(buf, path)
+        back = json.loads(path.read_text())
+        assert validate_trace(back) == []
+        assert back["traceEvents"] == buf.to_payload()["traceEvents"]
+
+
+class TestSimulatorTrace:
+    def test_instrumented_run_emits_valid_trace(self, tmp_path):
+        ck = compile_kernel(get_benchmark("matrixmul").build("tiny"))
+        col = Collector(trace=True)
+        result = simulate(ck, partitioned_baseline(), collector=col)
+        payload = col.trace_payload()
+        assert validate_trace(payload) == []
+        events = payload["traceEvents"]
+        issues = [e for e in events if e.get("cat") == "issue"]
+        assert len(issues) == result.instructions
+        assert {e["cat"] for e in events if e["ph"] == "X"} >= {"issue", "cta"}
+        # Events never extend past the end of the run.
+        assert all(
+            e["ts"] + e.get("dur", 0.0) <= result.cycles
+            for e in events
+            if e["ph"] == "X"
+        )
+        path = tmp_path / "sim.trace.json"
+        write_trace(payload, path)
+        assert validate_trace(json.loads(path.read_text())) == []

@@ -63,3 +63,33 @@ class TestResultRoundTrip:
         del stale["version"]
         with pytest.raises(ValueError, match="format version"):
             result_from_dict(stale)
+
+
+class TestInstrumentedRoundTrip:
+    """v2 of the format carries the observability layer's stall totals."""
+
+    @pytest.fixture(scope="class")
+    def instrumented(self):
+        from repro.compiler import compile_kernel
+        from repro.kernels import get_benchmark
+        from repro.obs import Collector
+        from repro.sm.simulator import simulate
+
+        ck = compile_kernel(get_benchmark("needle").build("tiny"))
+        return simulate(ck, partitioned_baseline(), collector=Collector())
+
+    def test_format_version_is_2(self):
+        assert RESULT_FORMAT_VERSION == 2
+
+    def test_stall_cycles_survive_json(self, instrumented):
+        assert instrumented.stall_cycles  # the collector filled them
+        back = result_from_dict(
+            json.loads(json.dumps(result_to_dict(instrumented)))
+        )
+        assert back.stall_cycles == instrumented.stall_cycles
+        assert back == instrumented
+
+    def test_uninstrumented_round_trips_empty(self, result):
+        assert result.stall_cycles == {}
+        back = result_from_dict(result_to_dict(result))
+        assert back.stall_cycles == {}

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -53,6 +55,108 @@ class TestExperiment:
     def test_unknown_id(self, capsys):
         assert main(["experiment", "nosuch"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_metrics_out_identical_across_jobs(self, capsys, tmp_path):
+        m1, m4 = tmp_path / "m1.json", tmp_path / "m4.json"
+        argv = ["experiment", "figure8", "--scale", "tiny", "-q"]
+        assert main(argv + ["--jobs", "1", "--metrics-out", str(m1)]) == 0
+        assert main(argv + ["--jobs", "4", "--metrics-out", str(m4)]) == 0
+        capsys.readouterr()
+        assert m1.read_bytes() == m4.read_bytes()
+        payload = json.loads(m1.read_text())
+        assert payload["schema"] == "repro.obs.run_metrics/1"
+        assert payload["totals"]["simulations"] == len(payload["simulations"])
+        assert payload["experiments"][0]["id"] == "figure8"
+
+    def test_cache_dir_writes_manifest(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(
+            ["experiment", "table4", "--cache-dir", str(cache)]
+        ) == 0
+        capsys.readouterr()
+        manifests = list((cache / "manifests").glob("run-*.json"))
+        assert len(manifests) == 1
+        m = json.loads(manifests[0].read_text())
+        assert m["schema"] == "repro.obs.manifest/1"
+        assert m["command"].startswith("repro experiment table4")
+        assert m["versions"]["result_format"] >= 2
+        assert m["sm_config_digest"]
+        assert m["cache"]["entries"]
+
+
+class TestSuite:
+    def test_only_selects_experiments(self, capsys):
+        assert main(["suite", "--scale", "tiny", "--only", " table4 ,"]) == 0
+        assert "SRAM bank access energy" in capsys.readouterr().out
+
+    def test_empty_only_is_a_clean_error(self, capsys):
+        assert main(["suite", "--scale", "tiny", "--only", " , "]) == 2
+        assert "selects no experiments" in capsys.readouterr().err
+
+    def test_unknown_only_rejected(self, capsys):
+        assert main(["suite", "--scale", "tiny", "--only", "table4,nosuch"]) == 2
+        assert "unknown experiment(s): nosuch" in capsys.readouterr().err
+
+
+class TestProfileAndTrace:
+    def test_profile_prints_attribution(self, capsys):
+        assert main(
+            ["profile", "matrixmul", "--scale", "tiny", "--design", "baseline"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Stall attribution" in captured.out
+        for cause in ("issue", "raw", "memory", "issue_port", "barrier"):
+            assert cause in captured.out
+        assert "conservation" in captured.err
+
+    def test_profile_writes_metrics_and_trace(self, capsys, tmp_path):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.json"
+        assert main(
+            ["profile", "vectoradd", "--scale", "tiny", "--design", "baseline",
+             "--window", "500", "--metrics-out", str(metrics),
+             "--trace-out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(metrics.read_text())
+        assert payload["schema"] == "repro.obs.metrics/1"
+        assert payload["window"] == 500
+        assert payload["samples"]
+        from repro.obs import validate_trace
+
+        assert validate_trace(json.loads(trace.read_text())) == []
+
+    def test_trace_command_writes_valid_file(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "needle", "--scale", "tiny", "--design", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out
+        from repro.obs import validate_trace
+
+        assert validate_trace(
+            json.loads((tmp_path / "needle.trace.json").read_text())
+        ) == []
+
+    def test_trace_respects_max_events(self, capsys, tmp_path):
+        out_path = tmp_path / "capped.json"
+        assert main(
+            ["trace", "bfs", "--scale", "tiny", "--design", "baseline",
+             "--out", str(out_path), "--max-events", "100"]
+        ) == 0
+        assert "dropped" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert len(payload["traceEvents"]) == 100
+        assert payload["otherData"]["droppedEvents"] > 0
+
+
+class TestVerbosity:
+    def test_quiet_suppresses_summary(self, capsys):
+        assert main(["experiment", "table4", "-q"]) == 0
+        assert "total:" not in capsys.readouterr().err
+
+    def test_default_prints_summary(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        assert "total:" in capsys.readouterr().err
 
 
 class TestAutotuneAndSweep:
