@@ -1,0 +1,45 @@
+"""Performance-regression harness for the simulator hot paths.
+
+The paper's evaluation is a large sweep of trace-driven simulations
+(26 benchmarks x designs x capacities, Sections 5-7), so the wall-clock
+cost of one :func:`repro.sm.simulate` call is the scaling bottleneck of
+the whole reproduction.  This package measures it and keeps it fast:
+
+* :mod:`repro.bench.micro` -- deterministic microbenchmarks of the
+  component models (bank conflicts, coalescer, cache) and of full
+  ``simulate()`` calls per kernel/partition;
+* :mod:`repro.bench.suite` -- the suite-level benchmark: every
+  experiment of ``python -m repro suite``, single job, cold in-memory
+  cache, timed per experiment;
+* :mod:`repro.bench.report` -- the schema-versioned ``BENCH_*.json``
+  payload (``repro.bench/1``), plus validation and two-file comparison
+  with a regression threshold.
+
+Entry point: ``python -m repro bench`` (see :mod:`repro.cli`).  Timing
+numbers are wall-clock and machine-dependent; everything else in the
+payload (benchmark ids, op counts, simulated cycles) is deterministic,
+and the pinned ``cycles`` metadata doubles as a cheap cycle-identity
+check between two machines or two revisions.
+"""
+
+from repro.bench.report import (
+    SCHEMA,
+    BenchEntry,
+    compare_payloads,
+    default_path,
+    load_payload,
+    make_payload,
+    validate_payload,
+    write_payload,
+)
+
+__all__ = [
+    "SCHEMA",
+    "BenchEntry",
+    "compare_payloads",
+    "default_path",
+    "load_payload",
+    "make_payload",
+    "validate_payload",
+    "write_payload",
+]

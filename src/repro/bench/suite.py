@@ -1,0 +1,62 @@
+"""Suite-level wall-clock benchmark.
+
+Runs the same experiment sequence as ``python -m repro suite`` -- single
+job, no disk cache, one fresh in-memory :class:`Runner` -- and times
+each experiment plus the total.  This is the number the acceptance
+criterion "suite wall-clock, single job, cache cold" refers to, and the
+headline entry (``suite.<scale>``) of a ``BENCH_*.json`` payload.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.report import BenchEntry
+
+
+def run_suite(scale: str, only: tuple[str, ...] | None = None) -> list[BenchEntry]:
+    """Time every suite experiment at ``scale`` with a cold runner.
+
+    Args:
+        scale: Workload scale ("tiny", "small", "paper").
+        only: Optional subset of experiment ids (default: the full
+            ``SUITE_ORDER`` of :mod:`repro.cli`).
+
+    Returns:
+        One ``suite.exp.<id>`` entry per experiment (run once; suite
+        experiments are too slow to repeat) and one aggregate
+        ``suite.<scale>`` entry whose time is the sum.
+    """
+    from repro.cli import SUITE_ORDER, _experiment_registry
+    from repro.experiments.executor import Executor
+    from repro.experiments.runner import Runner
+
+    registry = _experiment_registry(scale)
+    ids = tuple(only) if only else SUITE_ORDER
+    unknown = [i for i in ids if i not in registry]
+    if unknown:
+        raise ValueError(f"unknown suite experiment(s): {', '.join(unknown)}")
+    runner = Runner(scale)
+    executor = Executor(runner, jobs=1, progress=False)
+    entries: list[BenchEntry] = []
+    total = 0.0
+    for exp_id in ids:
+        t0 = time.perf_counter()
+        registry[exp_id](executor=executor)
+        dt = time.perf_counter() - t0
+        total += dt
+        entries.append(
+            BenchEntry(id=f"suite.exp.{exp_id}", seconds=dt, runs=[dt])
+        )
+    entries.append(
+        BenchEntry(
+            id=f"suite.{scale}",
+            seconds=total,
+            runs=[total],
+            meta={
+                "experiments": len(ids),
+                "simulations": len(runner.sim_keys()),
+            },
+        )
+    )
+    return entries

@@ -25,6 +25,10 @@ Commands
     Sweep thread targets under a unified capacity (Section 4.5 remark).
 ``sweep BENCH``
     Capacity sweep (Table 6 style) for one benchmark.
+``bench``
+    Performance benchmarks of the simulator hot paths; writes a
+    schema-versioned ``BENCH_<date>.json``, and ``--compare OLD NEW``
+    flags wall-clock regressions between two payloads.
 
 The ``experiment``, ``suite``, and ``validate`` commands accept
 ``--jobs N`` (fan independent simulations over N worker processes),
@@ -235,6 +239,27 @@ def _build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--capacities", default="128,192,256,320,384,512",
                     help="comma-separated KB values")
     sw.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+
+    bn = sub.add_parser("bench", parents=[common],
+                        help="performance benchmarks (BENCH_*.json)")
+    bn.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    bn.add_argument("--repeats", type=_positive_int, default=3,
+                    help="runs per microbenchmark, best kept (default 3)")
+    bn.add_argument("--out", default=None, metavar="PATH",
+                    help="payload path (default BENCH_<date>.json in cwd)")
+    bn.add_argument("--only", default=None, metavar="PREFIXES",
+                    help="comma-separated benchmark-id prefixes to run "
+                         "(e.g. 'micro.banks,sim'); default: everything")
+    bn.add_argument("--no-suite", action="store_true",
+                    help="skip the suite-level wall-clock benchmark")
+    bn.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+                    help="compare two payloads instead of benchmarking; "
+                         "exits 1 on regression")
+    bn.add_argument("--threshold", type=float, default=1.15, metavar="RATIO",
+                    help="max tolerated new/old time ratio for --compare "
+                         "(default 1.15)")
+    bn.add_argument("--validate", default=None, metavar="FILE",
+                    help="validate a payload against the schema and exit")
     return parser
 
 
@@ -576,6 +601,59 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import report
+
+    if args.validate is not None:
+        try:
+            report.load_payload(args.validate)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            log.error("%s", e)
+            return 1
+        print(f"{args.validate}: valid {report.SCHEMA} payload")
+        return 0
+    if args.compare is not None:
+        old_path, new_path = args.compare
+        try:
+            old = report.load_payload(old_path)
+            new = report.load_payload(new_path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            log.error("%s", e)
+            return 2
+        cmp = report.compare_payloads(old, new, threshold=args.threshold)
+        print(cmp.format())
+        return 0 if cmp.ok else 1
+
+    from repro.bench.micro import run_micro
+    from repro.bench.suite import run_suite
+
+    prefixes = (
+        tuple(p.strip() for p in args.only.split(",") if p.strip())
+        if args.only else None
+    )
+
+    def selected(bench_id: str) -> bool:
+        return prefixes is None or any(bench_id.startswith(p) for p in prefixes)
+
+    entries = [e for e in run_micro(args.scale, args.repeats) if selected(e.id)]
+    run_suite_bench = not args.no_suite and (
+        prefixes is None or any(p.startswith("suite") for p in prefixes)
+    )
+    if run_suite_bench:
+        log.info("running suite benchmark at scale %r (cold, single job)...",
+                 args.scale)
+        entries += [e for e in run_suite(args.scale) if selected(e.id)]
+    if not entries:
+        log.error("--only %r selects no benchmarks", args.only)
+        return 2
+    payload = report.make_payload(entries, scale=args.scale, repeats=args.repeats)
+    out = report.write_payload(payload, args.out or report.default_path())
+    for e in sorted(entries, key=lambda e: e.id):
+        print(f"{e.id:<34} {e.seconds:>10.4f} s")
+    print(f"wrote {len(entries)} benchmarks to {out}")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.experiments import validate
 
@@ -601,6 +679,7 @@ def main(argv: list[str] | None = None) -> int:
         "suite": lambda: _cmd_suite(args),
         "autotune": lambda: _cmd_autotune(args),
         "sweep": lambda: _cmd_sweep(args),
+        "bench": lambda: _cmd_bench(args),
         "validate": lambda: _cmd_validate(args),
     }
     try:

@@ -57,6 +57,7 @@ from repro.core.partition import (
     DesignStyle,
     MemoryPartition,
 )
+from repro.compiler.precompute import hist_bucket as _hist_bucket
 from repro.isa.opcodes import MemSpace
 
 
@@ -70,6 +71,7 @@ class BankAccess:
 
     @property
     def is_conflicted(self) -> bool:
+        """Whether the access stalls the pipeline at all."""
         return self.penalty > 0
 
 
@@ -84,6 +86,7 @@ class ConflictHistogram:
     over_4: int = 0
 
     def record(self, max_accesses: int) -> None:
+        """Count one warp instruction whose busiest bank saw ``max_accesses``."""
         if max_accesses <= 1:
             self.at_most_1 += 1
         elif max_accesses == 2:
@@ -96,6 +99,7 @@ class ConflictHistogram:
             self.over_4 += 1
 
     def merge(self, other: "ConflictHistogram") -> None:
+        """Add ``other``'s bucket counts into this histogram in place."""
         self.at_most_1 += other.at_most_1
         self.exactly_2 += other.exactly_2
         self.exactly_3 += other.exactly_3
@@ -104,9 +108,11 @@ class ConflictHistogram:
 
     @property
     def total(self) -> int:
+        """All warp instructions recorded so far."""
         return self.at_most_1 + self.exactly_2 + self.exactly_3 + self.exactly_4 + self.over_4
 
     def fractions(self) -> dict[str, float]:
+        """Bucket shares of all recorded instructions (Table 5's columns)."""
         n = self.total or 1
         return {
             "<=1": self.at_most_1 / n,
@@ -135,7 +141,19 @@ def _reg_bank_counts(regs: tuple[int, ...]) -> list[int]:
 
 
 class PartitionedBanks:
-    """Conflict model for the hard-partitioned baseline (and Fermi-like)."""
+    """Conflict model for the hard-partitioned baseline (and Fermi-like).
+
+    Exposes two equivalent interfaces: :meth:`access` computes one warp
+    instruction's outcome from scratch (and records the histogram), and
+    the ``planned_*`` methods resolve the same outcome through a
+    precomputed :class:`~repro.compiler.precompute.OpPlan`, memoising
+    per-op results so repeat simulations of a kernel become table
+    lookups.  The planned paths do *not* touch :attr:`histogram`; the
+    simulator accumulates buckets itself and merges once per run.
+    """
+
+    #: Key prefix for plan-level memos (one entry space per model family).
+    _plan_tag = "P"
 
     def __init__(self, partition: MemoryPartition) -> None:
         self.partition = partition
@@ -149,6 +167,25 @@ class PartitionedBanks:
         shared_base: int = 0,
         segments: list[int] | None = None,
     ) -> BankAccess:
+        """Resolve one warp instruction's bank conflicts from scratch.
+
+        Register and memory banks are separate structures in this
+        design, so the stall is simply the busiest port: the MRF bank
+        with the most operand reads, the shared-memory word bank with
+        the most distinct words, or the cache tag port serialising
+        multi-line accesses (Section 6.1's counting).
+
+        Args:
+            op: The compiled instruction (MRF operands + addresses).
+            shared_base: The CTA's scratchpad allocation offset; shared
+                addresses are relative to it.
+            segments: Pre-coalesced 128-byte line bases for global or
+                local ops (``None`` means one line).
+
+        Returns:
+            The ``(penalty, max_bank, data_rows)`` outcome; also records
+            ``max_bank`` into :attr:`histogram` (Table 5).
+        """
         reg_counts = _reg_bank_counts(op.mrf_reads)
         reg_max = max(reg_counts) if op.mrf_reads else 0
         mem_max = 0
@@ -170,9 +207,53 @@ class PartitionedBanks:
         self.histogram.record(max_bank)
         return BankAccess(penalty, max_bank, rows)
 
+    # -- plan-driven fast path --------------------------------------------
+    def planned_shared(self, pl, addrs, shared_base: int):
+        """Shared-memory outcome via the op's plan memo.
+
+        Returns ``(penalty, histogram_bucket, data_row_accesses, 0)``
+        exactly as :meth:`access` would compute it (the trailing 0 is
+        the arbitration-conflict flag, which the partitioned design
+        cannot have).  Word banks repeat every ``4 * NUM_BANKS`` bytes,
+        so the memo key is the CTA base offset modulo 128: shifting the
+        base by 128 shifts every word index by 32 banks (identity) and
+        every 16-byte row index by 8 (bijective), leaving penalty,
+        busiest-bank count, and row count unchanged.
+        """
+        sw = self.shared_bank_width
+        key = ("P", shared_base % 128) if sw == 4 else ("P", sw, shared_base)
+        cached = pl.shared_cache.get(key)
+        if cached is None:
+            words = {(shared_base + a) // sw for a in addrs}
+            bank_counts: dict[int, int] = {}
+            for w in words:
+                b = w % NUM_BANKS
+                bank_counts[b] = bank_counts.get(b, 0) + 1
+            mem_max = max(bank_counts.values(), default=0)
+            rows = len({(shared_base + a) // BANK_WIDTH for a in addrs})
+            reg_max = pl.reg_max
+            penalty = max(reg_max - 1, mem_max - 1, 0)
+            cached = (penalty, _hist_bucket(max(reg_max, mem_max)), rows, 0)
+            pl.shared_cache[key] = cached
+        return cached
+
+    def planned_global(self, pl):
+        """Global/local outcome: fully precomputed on the plan."""
+        penalty, bucket, rows = pl.part_mem
+        return penalty, bucket, rows, 0
+
 
 class UnifiedBanks:
-    """Conflict model for the unified design (Sections 4.2-4.3)."""
+    """Conflict model for the unified design (Sections 4.2-4.3).
+
+    Like :class:`PartitionedBanks`, exposes both the from-scratch
+    :meth:`access` interface and plan-driven ``planned_*`` lookups (see
+    :mod:`repro.compiler.precompute`); the planned paths skip histogram
+    and arbitration-counter updates, returning the would-be increments
+    for the simulator to accumulate.
+    """
+
+    _plan_tag = "U"
 
     def __init__(self, partition: MemoryPartition) -> None:
         if partition.style is not DesignStyle.UNIFIED:
@@ -216,6 +297,27 @@ class UnifiedBanks:
         shared_base: int = 0,
         segments: list[int] | None = None,
     ) -> BankAccess:
+        """Resolve one warp instruction's bank conflicts from scratch.
+
+        In the unified pool every access — register operand, shared
+        row, cache line — competes for the same 32 banks, so beyond the
+        per-port terms of the partitioned model this adds the *combined*
+        per-bank load (registers plus memory on the same physical bank)
+        and counts an arbitration conflict when that combination, not
+        any single port, is what stalls the access (Section 4.2).
+
+        Args:
+            op: The compiled instruction (MRF operands + addresses).
+            shared_base: The CTA's scratchpad allocation offset within
+                the shared region (which itself follows the register
+                region in each bank).
+            segments: Pre-coalesced 128-byte line bases for global or
+                local ops (``None`` means one line).
+
+        Returns:
+            The ``(penalty, max_bank, data_rows)`` outcome; also records
+            the histogram bucket and any arbitration conflict.
+        """
         reg_counts = _reg_bank_counts(op.mrf_reads)
         reg_max = max(reg_counts) if op.mrf_reads else 0
         cluster_cycles = 0
@@ -266,6 +368,94 @@ class UnifiedBanks:
         self.histogram.record(max_bank)
         return BankAccess(penalty, max_bank, rows)
 
+    # -- plan-driven fast path --------------------------------------------
+    def planned_shared(self, pl, addrs, shared_base: int):
+        """Shared-memory outcome via the op's plan memo.
+
+        Returns ``(penalty, histogram_bucket, data_row_accesses,
+        arbitration_flag)``, exactly :meth:`access`'s outcome.  The
+        16-byte-row-to-(cluster, bank) mapping repeats every
+        ``NUM_BANKS * BANK_WIDTH = 512`` bytes of effective offset
+        (shifting the row index by 32 preserves ``row % 8`` and
+        ``(row // 8) % 4``), so the memo key is the effective base --
+        register-region size plus CTA offset -- modulo 512, namespaced
+        by the model variant (the cluster-port ablation counts cluster
+        cycles differently).
+        """
+        key = (self._plan_tag, (self.shared_region_base + shared_base) % 512)
+        cached = pl.shared_cache.get(key)
+        if cached is None:
+            reg_counts = pl.reg_counts
+            reg_max = pl.reg_max
+            per_cluster: dict[int, dict[int, int]] = {}
+            seen_rows: set[int] = set()
+            base = self.shared_region_base + shared_base
+            for a in addrs:
+                g = (base + a) // BANK_WIDTH
+                if g in seen_rows:
+                    continue
+                seen_rows.add(g)
+                c = g % NUM_CLUSTERS
+                k = (g // NUM_CLUSTERS) % BANKS_PER_CLUSTER
+                per_cluster.setdefault(c, {}).setdefault(k, 0)
+                per_cluster[c][k] += 1
+            rows = len(seen_rows)
+            cluster_cycles = self._cluster_term(per_cluster)
+            combined_max = reg_max
+            max_bank = reg_max
+            for banks in per_cluster.values():
+                for k, n in banks.items():
+                    total = n + reg_counts[k]
+                    if total > combined_max:
+                        combined_max = total
+                    if total > max_bank:
+                        max_bank = total
+            penalty = max(
+                reg_max - 1, cluster_cycles - 1, combined_max - 1, 0
+            )
+            arb = 1 if combined_max > max(reg_max, cluster_cycles, 0) else 0
+            cached = (penalty, _hist_bucket(max_bank), rows, arb)
+            pl.shared_cache[key] = cached
+        return cached
+
+    def planned_global(self, pl):
+        """Global/local outcome, memoised on the plan.
+
+        Partition-independent in the unified design: the line-to-bank
+        stripe (``(line // CACHE_LINE) % 4``) and the register operand
+        counts do not involve the partition split, and the tag-port and
+        cluster terms are plain line counts.  Both unified variants
+        share the slot because the global path never calls
+        :meth:`_cluster_term`.
+        """
+        cached = pl.uni_mem
+        if cached is None:
+            lines = pl.segments
+            n = pl.n_segments
+            reg_counts = pl.reg_counts
+            reg_max = pl.reg_max
+            lines_per_bank = [0] * BANKS_PER_CLUSTER
+            for la in lines:
+                lines_per_bank[(la // CACHE_LINE) % BANKS_PER_CLUSTER] += 1
+            combined_max = reg_max
+            max_bank = reg_max
+            for k in range(BANKS_PER_CLUSTER):
+                lp = lines_per_bank[k]
+                if lp == 0:
+                    continue
+                total = lp + reg_counts[k]
+                if total > combined_max:
+                    combined_max = total
+                if total > max_bank:
+                    max_bank = total
+            # cluster_cycles == tag_serial == n on this path.
+            penalty = max(reg_max - 1, n - 1, combined_max - 1, 0)
+            arb = 1 if combined_max > max(reg_max, n) else 0
+            rows = n * (CACHE_LINE // BANK_WIDTH)
+            cached = (penalty, _hist_bucket(max_bank), rows, arb)
+            pl.uni_mem = cached
+        return cached
+
 
 class ClusterPortUnifiedBanks(UnifiedBanks):
     """The literal "simple design" of Section 4.2.
@@ -277,6 +467,8 @@ class ClusterPortUnifiedBanks(UnifiedBanks):
     conflict model of Section 6.1 -- which is why the relaxed counting in
     :class:`UnifiedBanks` is our default and this class is the ablation.
     """
+
+    _plan_tag = "UC"
 
     def _cluster_term(self, per_cluster_bank_rows: dict[int, dict[int, int]]) -> int:
         return max(

@@ -29,22 +29,27 @@ class CacheStats:
 
     @property
     def reads(self) -> int:
+        """Total load lookups."""
         return self.read_hits + self.read_misses
 
     @property
     def writes(self) -> int:
+        """Total store lookups."""
         return self.write_hits + self.write_misses
 
     @property
     def accesses(self) -> int:
+        """Total lookups, loads plus stores."""
         return self.reads + self.writes
 
     @property
     def hit_rate(self) -> float:
+        """Hits over all lookups (0.0 when the cache saw no traffic)."""
         return (self.read_hits + self.write_hits) / self.accesses if self.accesses else 0.0
 
     @property
     def read_hit_rate(self) -> float:
+        """Hits over load lookups only (the paper's usual hit-rate)."""
         return self.read_hits / self.reads if self.reads else 0.0
 
     def to_dict(self) -> dict:
@@ -84,6 +89,7 @@ class DataCache:
 
     @property
     def enabled(self) -> bool:
+        """False for a zero-capacity partition: every access misses."""
         return self.num_sets > 0
 
     def _locate(self, line_addr: int) -> tuple[OrderedDict, int]:
@@ -139,4 +145,5 @@ class DataCache:
 
     @property
     def resident_lines(self) -> int:
+        """Lines currently installed across all sets."""
         return sum(len(s) for s in self._sets)

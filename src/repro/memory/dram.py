@@ -72,6 +72,7 @@ class DRAMChannel:
 
     @property
     def bits_transferred(self) -> int:
+        """Off-chip traffic in bits (the energy model prices per bit)."""
         return 8 * self.bytes_transferred
 
     def utilisation(self, total_cycles: float) -> float:

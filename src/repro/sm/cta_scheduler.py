@@ -66,6 +66,7 @@ class CTAScheduler:
 
     @property
     def remaining(self) -> int:
+        """CTAs of the grid not yet launched."""
         return len(self.kernel.ctas) - self._next_index
 
     def launch_next(self) -> ResidentCTA | None:

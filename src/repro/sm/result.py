@@ -28,14 +28,17 @@ class EnergyCounts:
 
     @property
     def mrf_accesses(self) -> int:
+        """Main-register-file reads plus writes."""
         return self.mrf_reads + self.mrf_writes
 
     @property
     def shared_rows(self) -> int:
+        """Shared-memory data-row reads plus writes."""
         return self.shared_row_reads + self.shared_row_writes
 
     @property
     def cache_rows(self) -> int:
+        """Cache data-row reads plus writes."""
         return self.cache_row_reads + self.cache_row_writes
 
 
@@ -65,6 +68,7 @@ class SimResult:
 
     @property
     def ipc(self) -> float:
+        """Warp instructions issued per simulated cycle."""
         return self.instructions / self.cycles if self.cycles else 0.0
 
     def speedup_over(self, baseline: "SimResult") -> float:
@@ -83,11 +87,18 @@ class SimResult:
         return baseline.cycles / self.cycles
 
     def dram_traffic_ratio(self, baseline: "SimResult") -> float:
+        """DRAM accesses of this run relative to ``baseline``'s.
+
+        The Table 1 DRAM columns and the cache-capacity studies compare
+        designs by off-chip traffic; below 1.0 means the larger cache
+        absorbed misses.  Two traffic-free runs compare as 1.0.
+        """
         if baseline.dram_accesses == 0:
             return 1.0 if self.dram_accesses == 0 else float("inf")
         return self.dram_accesses / baseline.dram_accesses
 
     def summary(self) -> str:
+        """One-line human-readable digest of the run (for CLI output)."""
         return (
             f"{self.kernel}: {self.cycles:.0f} cycles, IPC {self.ipc:.3f}, "
             f"{self.resident_threads} threads, "

@@ -38,6 +38,7 @@ def _counter_from_dict(cls, d: dict):
 
 
 def partition_to_dict(p: MemoryPartition) -> dict:
+    """JSON-safe form of a partition (style string + byte sizes)."""
     return {
         "style": p.style.value,
         "rf_bytes": p.rf_bytes,
@@ -47,6 +48,7 @@ def partition_to_dict(p: MemoryPartition) -> dict:
 
 
 def partition_from_dict(d: dict) -> MemoryPartition:
+    """Inverse of :func:`partition_to_dict`."""
     return MemoryPartition(
         style=DesignStyle(d["style"]),
         rf_bytes=d["rf_bytes"],

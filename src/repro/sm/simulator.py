@@ -4,8 +4,23 @@ See the package docstring (:mod:`repro.sm`) for the modelling contract.
 The main loop pops the earliest-ready warp from a heap, serialises it on
 the single issue port, resolves its instruction against the bank model /
 cache / DRAM, and schedules the warp's next readiness.  Each warp
-instruction is visited exactly once, so runtime is
-``O(total_ops * log(resident_warps))``.
+instruction is visited exactly once, so the loop runs in
+``O(total_ops * log(resident_warps))``; the first simulation of a kernel
+additionally pays a one-time ``O(total_ops * warp_width)`` planning pass
+(:mod:`repro.compiler.precompute`) whose tables every later simulation
+of the same :class:`CompiledKernel` reuses.
+
+The loop dispatches on the plan's dense ``kind`` int instead of the
+``op.op.space`` / ``is_load`` enum-property chain, resolves bank
+outcomes through the bank model's ``planned_*`` memo lookups, and
+accumulates histogram buckets, arbitration conflicts, and energy events
+in local counters that are merged into the :class:`ConflictHistogram` /
+:class:`~repro.sm.result.EnergyCounts` once per run.  All of this is
+strictly a constant-factor optimisation: every simulated quantity --
+cycles, conflict histogram, cache stats, DRAM traffic and request
+ordering, energy counts, stall attribution -- is bit-identical to the
+straightforward per-access evaluation, which the golden-result tests
+(``tests/integration/test_golden_results.py``) pin end to end.
 """
 
 from __future__ import annotations
@@ -13,12 +28,18 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
-from repro.compiler.compiled import CompiledKernel, CompiledOp, CompiledWarp
+from repro.compiler.compiled import CompiledKernel, CompiledOp
+from repro.compiler.precompute import (
+    K_BARRIER,
+    K_GLOBAL_LOAD,
+    K_SHARED_LOAD,
+    K_SHARED_STORE,
+    K_TEX,
+    plan_kernel,
+)
 from repro.core.partition import MemoryPartition
-from repro.isa.opcodes import MemSpace, OpClass
 from repro.memory.banks import make_bank_model
 from repro.memory.cache import DataCache
-from repro.memory.coalescer import coalesce_lines, coalesce_sectors
 from repro.memory.dram import DRAMChannel
 from repro.obs.collector import (
     CAUSE_BARRIER,
@@ -29,7 +50,6 @@ from repro.sm.config import SMConfig
 from repro.sm.cta_scheduler import CTAScheduler, ResidentCTA
 from repro.sm.result import EnergyCounts, SimResult
 
-
 class SimulationError(RuntimeError):
     """The simulation reached an inconsistent state (internal bug guard)."""
 
@@ -37,6 +57,8 @@ class SimulationError(RuntimeError):
 @dataclass(slots=True)
 class _WarpState:
     ops: list[CompiledOp]
+    #: Per-op plans aligned with ``ops`` (see repro.compiler.precompute).
+    plans: list
     cta: ResidentCTA
     pc: int = 0
     #: Architectural register -> cycle its pending write completes.
@@ -104,10 +126,12 @@ def simulate(
         observer=obs.dram_transfer if obs is not None else None,
     )
     counts = EnergyCounts()
+    line_bytes = cfg.cache_line_bytes
+    plans_k = plan_kernel(kernel, line_bytes)
 
     # Event heap of (ready_cycle, seq, warp); seq keeps FIFO order among ties.
     heap: list[tuple[float, int, _WarpState]] = []
-    seq = 0  # also advanced inline by the deschedule path below
+    seq = 0  # also advanced inline by the hot loop below
     warp_serial = 0
 
     def push(w: _WarpState, now: float) -> None:
@@ -122,8 +146,15 @@ def simulate(
             return False
         if obs is not None:
             obs.cta_launch(resident.index, now, len(resident.cta.warps))
+        warp_plans = plans_k[resident.index]
         for wi, cw in enumerate(resident.cta.warps):
-            w = _WarpState(ops=cw.ops, cta=resident, wid=warp_serial, widx=wi)
+            w = _WarpState(
+                ops=cw.ops,
+                plans=warp_plans[wi],
+                cta=resident,
+                wid=warp_serial,
+                widx=wi,
+            )
             warp_serial += 1
             if obs is not None:
                 obs.spawn(w.wid, resident.index, wi, now)
@@ -143,27 +174,52 @@ def simulate(
     mem_port_free = 0.0
     instructions = 0
     conflict_cycles = 0
-    line_bytes = cfg.cache_line_bytes
 
-    latency_of = {
-        OpClass.ALU: cfg.alu_latency,
-        OpClass.SFU: cfg.sfu_latency,
-        OpClass.TEX: cfg.tex_latency,
-        OpClass.LOAD_SHARED: cfg.shared_latency,
-        OpClass.STORE_SHARED: cfg.shared_latency,
-    }
+    # Hoisted bound methods / config scalars and local accumulators --
+    # merged into banks.histogram / EnergyCounts once after the loop.
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    planned_shared = banks.planned_shared
+    planned_global = banks.planned_global
+    cache_read = cache.read_line
+    cache_write = cache.write_line
+    dram_request = dram.request
+    cache_enabled = cache.enabled
+    lat_by_kind = (cfg.alu_latency, cfg.sfu_latency, cfg.tex_latency)
+    shared_latency = cfg.shared_latency
+    hit_latency = cfg.cache_hit_latency
+    txn_bytes = cfg.dram_transaction_bytes
+    desch_lat = cfg.deschedule_latency
+    desch_thr = cfg.deschedule_threshold
+    hist = [0, 0, 0, 0, 0]
+    arb_total = 0
+    mrf_reads_t = mrf_writes_t = 0
+    orf_reads_t = orf_writes_t = 0
+    lrf_reads_t = lrf_writes_t = 0
+    shared_row_reads_t = shared_row_writes_t = 0
+    cache_row_reads_t = cache_row_writes_t = 0
+    tag_lookups_t = 0
 
     while heap:
-        ready, _, w = heapq.heappop(heap)
+        ready, _, w = heappop(heap)
         t = ready if ready > issued_until else issued_until
-        op = w.ops[w.pc]
+        pc = w.pc
+        op = w.ops[pc]
+        pl = w.plans[pc]
+        kind = pl.kind
         instructions += 1
 
-        # ---- barriers -------------------------------------------------
-        if op.op is OpClass.BARRIER:
+        if kind <= K_TEX:
+            # ALU/SFU/TEX: register-bank conflicts stall operand fetch,
+            # and with it the issue port.
+            penalty = pl.reg_penalty
+            hist[pl.reg_bucket] += 1
+            issue_done = t + 1 + penalty
+            completion = issue_done + lat_by_kind[kind]
+        elif kind == K_BARRIER:
             cta = w.cta
             cta.barrier_count += 1
-            w.pc += 1
+            w.pc = pc + 1
             issued_until = t + 1
             if obs is not None:
                 obs.issue(w.wid, "BARRIER", op.srcs, ready, t, t + 1)
@@ -192,92 +248,101 @@ def simulate(
             else:
                 cta.waiting_warps.append(w)
             continue
-
-        # ---- memory resolution ----------------------------------------
-        space = op.op.space
-        completion = None
-        wb_cause = CAUSE_RAW  # latency class of this op's writeback (obs)
-        if space is None:
-            # ALU/SFU/TEX: register-bank conflicts stall operand fetch,
-            # and with it the issue port.
-            access = banks.access(op)
-            penalty = access.penalty
-            issue_done = t + 1 + penalty
-            completion = issue_done + latency_of[op.op]
         else:
             # Memory instructions issue in one cycle; bank conflicts
             # serialise in the memory pipeline (other warps keep issuing).
             issue_done = t + 1
-            if space is MemSpace.SHARED:
-                access = banks.access(op, shared_base=w.cta.shared_base)
-                if op.op.is_load:
-                    counts.shared_row_reads += access.data_row_accesses
+            wb_cause = CAUSE_RAW  # latency class of the writeback (obs)
+            if kind <= K_SHARED_STORE:
+                penalty, bucket, rows, arb = planned_shared(
+                    pl, op.addrs, w.cta.shared_base
+                )
+                hist[bucket] += 1
+                arb_total += arb
+                if kind == K_SHARED_LOAD:
+                    shared_row_reads_t += rows
                 else:
-                    counts.shared_row_writes += access.data_row_accesses
-                segments = None
-            else:
-                segments = coalesce_lines(op.addrs, line_bytes)
-                access = banks.access(op, segments=segments)
-                if cache.enabled:
+                    shared_row_writes_t += rows
+                port_start = issue_done if issue_done > mem_port_free else mem_port_free
+                data_ready = port_start + penalty
+                mem_port_free = port_start + 1 + penalty
+                completion = data_ready + shared_latency
+            else:  # global / local through the cache
+                penalty, bucket, rows, arb = planned_global(pl)
+                hist[bucket] += 1
+                arb_total += arb
+                if cache_enabled:
                     # A 0 KB cache has no tag array, so a disabled cache
                     # must not accrue tag-lookup energy.
-                    counts.tag_lookups += len(segments)
-            penalty = access.penalty
-            port_start = issue_done if issue_done > mem_port_free else mem_port_free
-            data_ready = port_start + penalty
-            mem_port_free = port_start + 1 + penalty
-            if space is MemSpace.SHARED:
-                completion = data_ready + cfg.shared_latency
-            elif op.op.is_load:
-                completion = data_ready
-                if cache.enabled:
-                    counts.cache_row_reads += access.data_row_accesses
-                    for seg in segments:
-                        if cache.read_line(seg):
-                            done = data_ready + cfg.cache_hit_latency
-                            if obs is not None:
-                                obs.cache_access(data_ready, True)
+                    tag_lookups_t += pl.n_segments
+                port_start = issue_done if issue_done > mem_port_free else mem_port_free
+                data_ready = port_start + penalty
+                mem_port_free = port_start + 1 + penalty
+                if kind == K_GLOBAL_LOAD:
+                    completion = data_ready
+                    if cache_enabled:
+                        cache_row_reads_t += rows
+                        if obs is None:
+                            for seg in pl.segments:
+                                if cache_read(seg):
+                                    done = data_ready + hit_latency
+                                else:
+                                    done = dram_request(data_ready, line_bytes)
+                                    wb_cause = CAUSE_MEMORY
+                                if done > completion:
+                                    completion = done
                         else:
-                            done = dram.request(data_ready, line_bytes)
-                            wb_cause = CAUSE_MEMORY
-                            if obs is not None:
-                                obs.cache_access(data_ready, False)
-                        if done > completion:
-                            completion = done
-                else:
-                    wb_cause = CAUSE_MEMORY
-                    for _ in coalesce_sectors(op.addrs):
-                        done = dram.request(data_ready, cfg.dram_transaction_bytes)
-                        if done > completion:
-                            completion = done
-            else:  # store: write-through, no-allocate, fire-and-forget
-                sectors = coalesce_sectors(op.addrs)
-                if cache.enabled:
-                    counts.cache_row_writes += access.data_row_accesses
-                    for seg in segments:
-                        hit = cache.write_line(seg)
-                        if obs is not None:
-                            obs.cache_access(data_ready, hit)
-                    # With a cache in front, the memory controller
-                    # combines write-through traffic into per-line
-                    # bursts: one DRAM access per touched line.
-                    per_line: dict[int, int] = {}
-                    for sector in sectors:
-                        line = sector - sector % line_bytes
-                        per_line[line] = per_line.get(line, 0) + 1
-                    for nsect in per_line.values():
-                        dram.request(data_ready, nsect * cfg.dram_transaction_bytes)
-                else:
-                    for _ in sectors:
-                        dram.request(data_ready, cfg.dram_transaction_bytes)
+                            for seg in pl.segments:
+                                if cache_read(seg):
+                                    done = data_ready + hit_latency
+                                    obs.cache_access(data_ready, True)
+                                else:
+                                    done = dram_request(data_ready, line_bytes)
+                                    wb_cause = CAUSE_MEMORY
+                                    obs.cache_access(data_ready, False)
+                                if done > completion:
+                                    completion = done
+                    else:
+                        wb_cause = CAUSE_MEMORY
+                        ns = pl.n_sectors
+                        if ns < 0:
+                            ns = pl.sector_info(op.addrs, line_bytes)[0]
+                        for _ in range(ns):
+                            done = dram_request(data_ready, txn_bytes)
+                            if done > completion:
+                                completion = done
+                else:  # store: write-through, no-allocate, fire-and-forget
+                    completion = None
+                    if cache_enabled:
+                        cache_row_writes_t += rows
+                        if obs is None:
+                            for seg in pl.segments:
+                                cache_write(seg)
+                        else:
+                            for seg in pl.segments:
+                                obs.cache_access(data_ready, cache_write(seg))
+                        # With a cache in front, the memory controller
+                        # combines write-through traffic into per-line
+                        # bursts: one DRAM access per touched line.
+                        pls = pl.per_line_sectors
+                        if pls is None:
+                            pls = pl.sector_info(op.addrs, line_bytes)[1]
+                        for nsect in pls:
+                            dram_request(data_ready, nsect * txn_bytes)
+                    else:
+                        ns = pl.n_sectors
+                        if ns < 0:
+                            ns = pl.sector_info(op.addrs, line_bytes)[0]
+                        for _ in range(ns):
+                            dram_request(data_ready, txn_bytes)
 
         # ---- register file traffic -------------------------------------
-        counts.mrf_reads += len(op.mrf_reads)
-        counts.mrf_writes += len(op.mrf_writes)
-        counts.orf_reads += op.orf_reads
-        counts.orf_writes += op.orf_writes
-        counts.lrf_reads += op.lrf_reads
-        counts.lrf_writes += op.lrf_writes
+        mrf_reads_t += pl.n_mrf_reads
+        mrf_writes_t += pl.n_mrf_writes
+        orf_reads_t += op.orf_reads
+        orf_writes_t += op.orf_writes
+        lrf_reads_t += op.lrf_reads
+        lrf_writes_t += op.lrf_writes
 
         # ---- issue/penalty accounting -----------------------------------
         conflict_cycles += penalty
@@ -292,8 +357,8 @@ def simulate(
             # in srcs).
             obs.issue(w.wid, op.op.name, op.srcs, ready, t, issue_done)
             if op.dst is not None:
-                if space is None:
-                    cause = CAUSE_MEMORY if op.op is OpClass.TEX else CAUSE_RAW
+                if kind <= K_TEX:
+                    cause = CAUSE_MEMORY if kind == K_TEX else CAUSE_RAW
                     wb_conflict = 0.0
                 else:
                     cause = wb_cause
@@ -303,18 +368,26 @@ def simulate(
                 obs.writeback(w.wid, op.dst, completion, cause, wb_conflict)
 
         # ---- advance warp ------------------------------------------------
-        w.pc += 1
-        if w.pc < len(w.ops):
-            if cfg.deschedule_latency:
-                # Two-level scheduler runtime model (ref [8]): a warp
-                # stalling past the threshold is descheduled and pays a
-                # reactivation latency when its dependence resolves.
-                nxt = w.next_ready(issue_done)
-                if nxt - issue_done > cfg.deschedule_threshold:
-                    heapq.heappush(heap, (nxt + cfg.deschedule_latency, seq, w))
-                    seq += 1
-                    continue
-            push(w, issue_done)
+        pc += 1
+        w.pc = pc
+        ops_w = w.ops
+        if pc < len(ops_w):
+            # Inlined _WarpState.next_ready plus the two-level scheduler
+            # runtime model (ref [8]): a warp stalling past the threshold
+            # is descheduled and pays a reactivation latency when its
+            # dependence resolves.
+            nr = issue_done
+            pending = w.pending
+            if pending:
+                for r in ops_w[pc].srcs:
+                    t2 = pending.get(r)
+                    if t2 is not None and t2 > nr:
+                        nr = t2
+            if desch_lat and nr - issue_done > desch_thr:
+                heappush(heap, (nr + desch_lat, seq, w))
+            else:
+                heappush(heap, (nr, seq, w))
+            seq += 1
             continue
         if obs is not None:
             obs.complete(w.wid, issue_done)
@@ -336,6 +409,27 @@ def simulate(
         raise SimulationError(f"{scheduler.remaining} CTAs were never launched")
     if live_ctas:
         raise SimulationError(f"{live_ctas} CTAs never finished")
+
+    # ---- merge local accumulators -------------------------------------
+    h = banks.histogram
+    h.at_most_1 += hist[0]
+    h.exactly_2 += hist[1]
+    h.exactly_3 += hist[2]
+    h.exactly_4 += hist[3]
+    h.over_4 += hist[4]
+    if arb_total:
+        banks.arbitration_conflicts += arb_total
+    counts.mrf_reads = mrf_reads_t
+    counts.mrf_writes = mrf_writes_t
+    counts.orf_reads = orf_reads_t
+    counts.orf_writes = orf_writes_t
+    counts.lrf_reads = lrf_reads_t
+    counts.lrf_writes = lrf_writes_t
+    counts.shared_row_reads = shared_row_reads_t
+    counts.shared_row_writes = shared_row_writes_t
+    counts.cache_row_reads = cache_row_reads_t
+    counts.cache_row_writes = cache_row_writes_t
+    counts.tag_lookups = tag_lookups_t
 
     counts.dram_bits = dram.bits_transferred
     end = max(issued_until, mem_port_free, dram.free_at)

@@ -1,0 +1,67 @@
+"""Microbenchmark and CLI smoke tests (tiny scale, single repeat)."""
+
+import json
+
+from repro.bench.micro import bench_cache, bench_coalescer, run_micro
+from repro.bench.report import make_payload, validate_payload
+
+
+def test_component_benches_report_deterministic_meta():
+    a = bench_coalescer("tiny", repeats=1)
+    b = bench_coalescer("tiny", repeats=1)
+    assert [e.meta for e in a] == [e.meta for e in b]
+    (cache_entry,) = bench_cache("tiny", repeats=1)
+    assert cache_entry.meta["reads"] > 0
+    assert 0 < cache_entry.meta["read_hits"] < cache_entry.meta["reads"]
+
+
+def test_run_micro_payload_validates():
+    entries = run_micro("tiny", repeats=1)
+    ids = {e.id for e in entries}
+    assert {"micro.banks.partitioned", "micro.banks.unified",
+            "micro.cache.readwrite", "micro.coalescer.lines",
+            "sim.matrixmul.baseline", "sim.vectoradd.unified384"} <= ids
+    payload = make_payload(entries, scale="tiny", repeats=1)
+    assert validate_payload(payload) == []
+    # sim.* entries pin simulated cycles -- the cheap cycle-identity check.
+    for e in entries:
+        if e.id.startswith("sim."):
+            assert e.meta["cycles"] > 0
+            assert e.meta["instructions"] > 0
+
+
+def test_cli_bench_writes_valid_payload(tmp_path, capsys):
+    from repro.bench.report import load_payload
+    from repro.cli import main
+
+    out = tmp_path / "BENCH_smoke.json"
+    rc = main(["bench", "--scale", "tiny", "--repeats", "1", "-q",
+               "--only", "micro.coalescer,micro.cache", "--no-suite",
+               "--out", str(out)])
+    assert rc == 0
+    payload = load_payload(out)
+    assert {e["id"] for e in payload["benchmarks"]} == {
+        "micro.coalescer.lines", "micro.coalescer.sectors",
+        "micro.cache.readwrite",
+    }
+    assert "wrote 3 benchmarks" in capsys.readouterr().out
+
+
+def test_cli_bench_rejects_empty_selection(tmp_path):
+    from repro.cli import main
+
+    rc = main(["bench", "--scale", "tiny", "--repeats", "1", "-q",
+               "--only", "nosuch.prefix", "--no-suite",
+               "--out", str(tmp_path / "x.json")])
+    assert rc == 2
+
+
+def test_suite_bench_tiny_subset():
+    from repro.bench.suite import run_suite
+
+    entries = run_suite("tiny", only=("table4", "figure8"))
+    ids = [e.id for e in entries]
+    assert ids == ["suite.exp.table4", "suite.exp.figure8", "suite.tiny"]
+    total = entries[-1]
+    assert total.meta["experiments"] == 2
+    assert total.seconds >= max(e.seconds for e in entries[:-1])

@@ -1,0 +1,138 @@
+"""Schema, validation, and regression-comparison tests for repro.bench."""
+
+import json
+
+import pytest
+
+from repro.bench.report import (
+    SCHEMA,
+    BenchEntry,
+    compare_payloads,
+    load_payload,
+    make_payload,
+    timed,
+    validate_payload,
+    write_payload,
+)
+
+
+def _payload(times: dict[str, float]) -> dict:
+    entries = [
+        BenchEntry(id=i, seconds=s, runs=[s, s * 1.1]) for i, s in times.items()
+    ]
+    return make_payload(entries, scale="tiny", repeats=2)
+
+
+def test_payload_is_valid_and_round_trips(tmp_path):
+    payload = _payload({"micro.a": 0.5, "sim.b.baseline": 1.0})
+    assert validate_payload(payload) == []
+    path = write_payload(payload, tmp_path / "BENCH_test.json")
+    assert load_payload(path) == payload
+
+
+def test_validate_rejects_bad_payloads():
+    assert validate_payload([]) != []
+    assert validate_payload({"schema": "nope", "benchmarks": []})
+    payload = _payload({"a": 1.0})
+    payload["benchmarks"][0].pop("runs")
+    assert any("runs" in e for e in validate_payload(payload))
+    dup = _payload({"a": 1.0})
+    dup["benchmarks"].append(dict(dup["benchmarks"][0]))
+    assert any("duplicate" in e for e in validate_payload(dup))
+    neg = _payload({"a": 1.0})
+    neg["benchmarks"][0]["seconds"] = -1.0
+    assert any("non-negative" in e for e in validate_payload(neg))
+    # seconds must be min(runs): an inconsistent summary is a schema error.
+    skew = _payload({"a": 1.0})
+    skew["benchmarks"][0]["seconds"] = 99.0
+    assert any("min(runs)" in e for e in validate_payload(skew))
+
+
+def test_write_refuses_invalid(tmp_path):
+    with pytest.raises(ValueError):
+        write_payload({"schema": SCHEMA, "benchmarks": "wrong"},
+                      tmp_path / "x.json")
+
+
+def test_compare_flags_injected_slowdown():
+    old = _payload({"micro.banks": 1.0, "suite.small": 10.0})
+    new = _payload({"micro.banks": 1.0, "suite.small": 25.0})  # 2.5x slower
+    report = compare_payloads(old, new, threshold=1.15)
+    assert not report.ok
+    assert [r.id for r in report.regressions] == ["suite.small"]
+    assert report.regressions[0].ratio == pytest.approx(2.5)
+    assert "REGRESSION" in report.format()
+
+
+def test_compare_within_threshold_is_ok():
+    old = _payload({"micro.banks": 1.0})
+    new = _payload({"micro.banks": 1.1})
+    assert compare_payloads(old, new, threshold=1.15).ok
+
+
+def test_compare_ignores_sub_noise_floor_entries():
+    # 50us -> 100us is a 2x ratio but pure timer jitter; the gate must
+    # not fail on entries this small (e.g. suite.exp.table4).
+    old = _payload({"suite.exp.table4": 0.00005, "suite.small": 10.0})
+    new = _payload({"suite.exp.table4": 0.00010, "suite.small": 10.0})
+    report = compare_payloads(old, new, threshold=1.15)
+    assert report.ok
+    assert "below noise floor" in report.format()
+    assert "<< REGRESSION" not in report.format()
+    # ...but a slowdown that crosses the floor still counts.
+    grown = _payload({"suite.exp.table4": 0.5, "suite.small": 10.0})
+    assert not compare_payloads(old, grown, threshold=1.15).ok
+
+
+def test_compare_handles_disjoint_ids():
+    old = _payload({"gone": 1.0, "both": 1.0})
+    new = _payload({"added": 1.0, "both": 1.0})
+    report = compare_payloads(old, new)
+    assert report.ok  # unmatched ids never count as regressions
+    assert report.only_old == ["gone"]
+    assert report.only_new == ["added"]
+
+
+def test_compare_rejects_bad_threshold():
+    payload = _payload({"a": 1.0})
+    with pytest.raises(ValueError):
+        compare_payloads(payload, payload, threshold=0.0)
+
+
+def test_timed_keeps_best_run_and_merges_meta():
+    calls = []
+
+    def fn():
+        calls.append(1)
+        return {"cycles": 42}
+
+    entry = timed("x", fn, repeats=3, meta={"fixed": True})
+    assert len(calls) == 3
+    assert len(entry.runs) == 3
+    assert entry.seconds == min(entry.runs)
+    assert entry.meta == {"fixed": True, "cycles": 42}
+
+
+def test_cli_compare_flags_slowdown(tmp_path, capsys):
+    """`repro bench --compare` exits 1 when a benchmark slowed down."""
+    from repro.cli import main
+
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps(_payload({"sim.x.baseline": 1.0})))
+    new.write_text(json.dumps(_payload({"sim.x.baseline": 3.0})))
+    assert main(["bench", "--compare", str(old), str(new)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+    # Same payload on both sides: clean exit.
+    assert main(["bench", "--compare", str(old), str(old)]) == 0
+
+
+def test_cli_validate(tmp_path, capsys):
+    from repro.cli import main
+
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(_payload({"a": 1.0})))
+    assert main(["bench", "--validate", str(good)]) == 0
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "other"}))
+    assert main(["bench", "--validate", str(bad)]) == 1

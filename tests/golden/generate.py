@@ -1,0 +1,55 @@
+"""Regenerate the golden SimResult fixtures in this directory.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/generate.py
+
+Only run this when a *deliberate* model change moves cycle counts; the
+whole point of the fixtures is that performance work on the simulator
+must reproduce them bit-for-bit (see docs/performance.md, section
+"cycle-identity contract").  Refresh EXPERIMENTS.md and
+tests/integration/test_golden.py alongside.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core import fermi_like, partitioned_baseline
+from repro.experiments.runner import Runner
+from repro.sm.serialize import result_to_dict
+
+#: (kernel, design-name) cases pinned by tests/integration/test_golden_results.py.
+KERNELS = ("vectoradd", "matrixmul", "needle", "bfs", "dgemm", "aes")
+DESIGNS = ("baseline", "fermi0", "unified384")
+
+HERE = Path(__file__).parent
+
+
+def case_result(rn: Runner, kernel: str, design: str):
+    """Simulate one golden case; mirrors the CLI's --design choices."""
+    if design == "baseline":
+        return rn.simulate(kernel, partitioned_baseline())
+    if design == "fermi0":
+        return rn.simulate(kernel, fermi_like(0))
+    if design == "unified384":
+        result, _ = rn.unified(kernel, total_kb=384)
+        return result
+    raise ValueError(f"unknown design {design!r}")
+
+
+def main() -> None:
+    rn = Runner("tiny")
+    for kernel in KERNELS:
+        for design in DESIGNS:
+            result = case_result(rn, kernel, design)
+            path = HERE / f"{kernel}__{design}.json"
+            path.write_text(
+                json.dumps(result_to_dict(result), indent=2, sort_keys=True) + "\n"
+            )
+            print(f"wrote {path.name}: {result.cycles:.0f} cycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Full-fidelity golden regression: every SimResult field, bit-exact.
+
+Complements test_golden.py (which pins only cycles / DRAM accesses):
+these fixtures serialize *entire* seed SimResults -- cycles, conflict
+histogram, cache stats, energy counts, stall totals -- for 6 kernels x
+3 designs, and any simulator change must reproduce them exactly.  This
+is the cycle-identity contract performance work on the hot loop is held
+to (docs/performance.md); regenerate via tests/golden/generate.py only
+for deliberate model changes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import Runner
+from repro.sm.serialize import result_from_dict, result_to_dict
+
+GOLDEN_DIR = Path(__file__).parent.parent / "golden"
+CASES = sorted(p.name for p in GOLDEN_DIR.glob("*__*.json"))
+
+
+@pytest.fixture(scope="module")
+def rn():
+    return Runner("tiny")
+
+
+def test_fixture_set_is_complete():
+    # >= 4 kernels x 3 partitions, per the regression-harness contract.
+    kernels = {name.split("__")[0] for name in CASES}
+    designs = {name.split("__")[1].removesuffix(".json") for name in CASES}
+    assert len(kernels) >= 4, kernels
+    assert designs == {"baseline", "fermi0", "unified384"}
+    assert len(CASES) == len(kernels) * len(designs)
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_golden_result_exact(case, rn):
+    from tests.golden.generate import case_result
+
+    stored = json.loads((GOLDEN_DIR / case).read_text())
+    kernel, design = case.removesuffix(".json").split("__")
+    result = case_result(rn, kernel, design)
+    got = result_to_dict(result)
+    assert got == stored, (
+        f"{case}: simulated result diverged from the seed simulator; "
+        "if the model change is deliberate, rerun tests/golden/generate.py"
+    )
+    # The fixture itself must round-trip through the serializer.
+    assert result_to_dict(result_from_dict(stored)) == stored
