@@ -51,11 +51,18 @@ from repro.kernels import (
 )
 from repro.sm import SMConfig, SimResult, simulate
 
-__version__ = "1.0.0"
+# After repro.sm: repro.chip pulls in repro.sm.config, whose import
+# chain through repro.core is order-sensitive (core.autotune imports it
+# back); entering via repro.sm first keeps the cycle resolved.
+from repro.chip import ChipConfig, ChipResult, simulate_chip
+
+__version__ = "1.1.0"
 
 __all__ = [
     "AllocationError",
     "BENEFIT_SET",
+    "ChipConfig",
+    "ChipResult",
     "CompiledKernel",
     "DesignStyle",
     "EnergyBreakdown",
@@ -81,5 +88,6 @@ __all__ = [
     "partitioned_baseline",
     "partitioned_design",
     "simulate",
+    "simulate_chip",
     "__version__",
 ]

@@ -1,0 +1,40 @@
+"""Chip-level simulation: N composable SMs behind shared, arbitrated DRAM.
+
+The paper evaluates one SM with a fixed 1/32 slice of chip bandwidth
+and scales chip numbers analytically.  This package makes the chip
+explicit: the single-SM simulator becomes a component
+(:func:`repro.sm.simulate` with injected DRAM port / CTA source /
+collector), and :func:`simulate_chip` instantiates ``num_sms`` of them
+behind a shared :class:`~repro.memory.dram.DRAMSystem` with a
+GigaThread-style :class:`CTADispatcher` spreading the grid across SMs.
+
+``ChipConfig.single_sm()`` -- one SM, private full-slice channel -- is
+the degenerate case that reproduces the paper's methodology (and the
+golden fixtures) bit for bit; see :doc:`docs/chip`.
+"""
+
+from repro.chip.config import ChipConfig, chip_fingerprint
+from repro.chip.dispatch import CTADispatcher, DispatchPort
+from repro.chip.result import ChipResult
+from repro.chip.serialize import (
+    CHIP_RESULT_FORMAT_VERSION,
+    chip_result_from_dict,
+    chip_result_to_dict,
+    load_chip_result,
+    save_chip_result,
+)
+from repro.chip.simulator import simulate_chip
+
+__all__ = [
+    "ChipConfig",
+    "chip_fingerprint",
+    "CTADispatcher",
+    "DispatchPort",
+    "ChipResult",
+    "CHIP_RESULT_FORMAT_VERSION",
+    "chip_result_to_dict",
+    "chip_result_from_dict",
+    "save_chip_result",
+    "load_chip_result",
+    "simulate_chip",
+]

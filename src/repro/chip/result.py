@@ -1,0 +1,97 @@
+"""Chip simulation outputs: per-SM results plus chip-level aggregates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chip.config import ChipConfig
+from repro.core.partition import MemoryPartition
+from repro.memory.dram import channel_utilisation
+from repro.sm.result import SimResult
+
+
+@dataclass(slots=True)
+class ChipResult:
+    """Outcome of simulating one kernel launch across a whole chip.
+
+    The authoritative record is :attr:`per_sm`: one full
+    :class:`~repro.sm.result.SimResult` per SM, measured (not scaled)
+    under whatever DRAM contention the run saw.  Chip-level numbers are
+    aggregations of those -- the makespan, summed traffic and
+    instructions -- plus the shared-DRAM channel accounting the per-SM
+    view cannot carry.
+    """
+
+    kernel: str
+    partition: MemoryPartition
+    config: ChipConfig
+    #: Chip makespan: the cycle the last SM (and the bus) went idle.
+    cycles: float
+    per_sm: list[SimResult]
+    #: CTAs each SM executed (dispatcher assignment counts).
+    ctas_per_sm: list[int]
+    #: Bytes moved per shared-DRAM channel (empty when partitioned:
+    #: per-SM channels are private, see ``per_sm[i].dram_bytes``).
+    dram_channel_bytes: list[int] = field(default_factory=list)
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def num_sms(self) -> int:
+        return len(self.per_sm)
+
+    @property
+    def instructions(self) -> int:
+        """Warp instructions issued chip-wide."""
+        return sum(r.instructions for r in self.per_sm)
+
+    @property
+    def ipc(self) -> float:
+        """Chip-wide warp instructions per cycle (sums over SMs)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def dram_accesses(self) -> int:
+        return sum(r.dram_accesses for r in self.per_sm)
+
+    @property
+    def dram_bytes(self) -> int:
+        """Total off-chip traffic; equals the channel totals by invariant."""
+        return sum(r.dram_bytes for r in self.per_sm)
+
+    @property
+    def dram_utilisation(self) -> float:
+        """Fraction of total chip DRAM bandwidth-cycles used."""
+        return channel_utilisation(
+            self.dram_bytes, self.config.dram_bytes_per_cycle, self.cycles
+        )
+
+    @property
+    def total_ctas(self) -> int:
+        return sum(self.ctas_per_sm)
+
+    def speedup_over(self, baseline: "ChipResult") -> float:
+        """Makespan ratio against a baseline run of the same kernel."""
+        if self.kernel != baseline.kernel:
+            raise ValueError(
+                f"cannot compare runs of different kernels: "
+                f"{self.kernel!r} vs {baseline.kernel!r}"
+            )
+        if self.cycles <= 0:
+            raise ValueError("run has no cycles")
+        return baseline.cycles / self.cycles
+
+    def summary(self) -> str:
+        """One-line chip digest (for CLI output)."""
+        dram_mode = (
+            "partitioned"
+            if self.config.dram_partitioned
+            else f"{self.config.dram_channels}ch shared"
+        )
+        return (
+            f"{self.kernel}: {self.num_sms} SMs, {self.cycles:.0f} cycles, "
+            f"chip IPC {self.ipc:.3f}, {self.total_ctas} CTAs, "
+            f"{self.dram_bytes} DRAM bytes "
+            f"({self.dram_utilisation:.1%} of {dram_mode} "
+            f"{self.config.dram_bytes_per_cycle:g} B/cycle) "
+            f"[{self.partition.describe()}]"
+        )

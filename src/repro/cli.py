@@ -7,6 +7,10 @@ Commands
 ``run BENCH``
     Simulate one benchmark under a design (baseline / fermi / unified)
     and print timing, traffic, and energy against the baseline.
+``chip BENCH``
+    Simulate one benchmark across N SMs sharing arbitrated DRAM
+    (``--sms``, ``--total-bw``, ``--channels``, ``--partitioned-dram``)
+    and print the per-SM table plus a measured chip energy summary.
 ``profile BENCH``
     Simulate one benchmark with the observability layer attached and
     print the per-cause stall-cycle attribution (plus optional interval
@@ -187,6 +191,22 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--chip", action="store_true",
                      help="scale the result to the 32-SM, 130 W chip (paper 5.2)")
 
+    ch = sub.add_parser("chip", parents=[common],
+                        help="simulate N SMs sharing arbitrated DRAM")
+    _add_design_flags(ch)
+    ch.add_argument("--sms", type=_positive_int, default=32, metavar="N",
+                    help="SMs on the chip (default 32, the paper's)")
+    ch.add_argument("--total-bw", type=float, default=256.0, metavar="B_PER_CYC",
+                    help="total chip DRAM bandwidth in bytes/cycle "
+                         "(default 256, shared by all SMs)")
+    ch.add_argument("--channels", type=_positive_int, default=8,
+                    help="shared DRAM channels (default 8)")
+    ch.add_argument("--partitioned-dram", action="store_true",
+                    help="give each SM a private bandwidth slice (the "
+                         "paper's fixed-slice methodology) instead of "
+                         "shared arbitrated channels")
+    _add_executor_flags(ch)
+
     prof = sub.add_parser("profile", parents=[common],
                           help="stall-cycle attribution for one benchmark")
     _add_design_flags(prof)
@@ -321,6 +341,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"energy {e / e_base:.3f}x, "
             f"DRAM {result.dram_traffic_ratio(base):.3f}x"
         )
+    return 0
+
+
+def _cmd_chip(args: argparse.Namespace) -> int:
+    from repro.chip import ChipConfig, chip_result_to_dict
+    from repro.energy.chip import ChipModel
+    from repro.experiments.report import format_table
+    from repro.memory.dram import channel_utilisation
+
+    executor = _make_executor(args)
+    rn = executor.runner
+    partition = _resolve_partition(rn, args)
+    chip = ChipConfig(
+        num_sms=args.sms,
+        dram_bytes_per_cycle=args.total_bw,
+        dram_channels=args.channels,
+        dram_partitioned=args.partitioned_dram,
+        sm=rn.config,
+    )
+    t0 = time.perf_counter()
+    cr = rn.simulate_chip(
+        args.benchmark,
+        partition,
+        chip=chip,
+        regs=args.regs,
+        thread_target=args.threads,
+    )
+    dt = time.perf_counter() - t0
+    rows = [
+        [
+            i,
+            cr.ctas_per_sm[i],
+            f"{r.cycles:.0f}",
+            r.instructions,
+            f"{r.ipc:.3f}",
+            r.dram_accesses,
+            r.dram_bytes,
+        ]
+        for i, r in enumerate(cr.per_sm)
+    ]
+    print(
+        format_table(
+            ["sm", "ctas", "cycles", "instructions", "ipc", "dram acc", "dram B"],
+            rows,
+            title=f"Per-SM results: {args.benchmark} ({args.design}), "
+                  f"{cr.num_sms} SMs",
+        )
+    )
+    print(cr.summary())
+    if not chip.dram_partitioned:
+        per_ch_bw = chip.dram_bytes_per_cycle / chip.dram_channels
+        per_channel = ", ".join(
+            f"ch{i} {channel_utilisation(b, per_ch_bw, cr.cycles):.1%}"
+            for i, b in enumerate(cr.dram_channel_bytes)
+        )
+        print(f"channel utilisation: {per_channel}")
+    # Measured pricing: per-SM counters, not the analytic NxSM scale-up.
+    summary = ChipModel(num_sms=chip.num_sms).evaluate_chip(cr)
+    print("energy (measured per-SM): " + summary.summary())
+    log.info("[chip] %s: %.2fs", args.benchmark, dt)
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            json.dumps(chip_result_to_dict(cr), indent=2, sort_keys=True)
+        )
+        log.info("wrote chip metrics to %s", args.metrics_out)
+        args.metrics_out = None  # _finish_run owns only the manifest
+    _finish_run(
+        args,
+        executor,
+        experiments=[{"id": f"chip-{args.benchmark}", "seconds": dt}],
+    )
     return 0
 
 
@@ -673,6 +764,7 @@ def main(argv: list[str] | None = None) -> int:
     dispatch = {
         "list": lambda: _cmd_list(),
         "run": lambda: _cmd_run(args),
+        "chip": lambda: _cmd_chip(args),
         "profile": lambda: _cmd_profile(args),
         "trace": lambda: _cmd_trace(args),
         "experiment": lambda: _cmd_experiment(args),

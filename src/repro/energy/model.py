@@ -85,12 +85,14 @@ class EnergyModel:
         pj += (c.lrf_reads + c.lrf_writes) * p.lrf_access_pj
         return pj * PJ
 
-    def leakage_j(self, result: SimResult) -> float:
+    def leakage_w(self, partition) -> float:
+        """One SM's leakage power under ``partition`` (core + SRAM)."""
         p = self.params
-        kb = result.partition.total_bytes / 1024
-        kb += result.partition.tag_bytes / 1024
-        watts = p.sm_core_leakage_w + p.sram_leakage_w(kb)
-        return watts * result.cycles * p.cycle_seconds
+        kb = (partition.total_bytes + partition.tag_bytes) / 1024
+        return p.sm_core_leakage_w + p.sram_leakage_w(kb)
+
+    def leakage_j(self, result: SimResult) -> float:
+        return self.leakage_w(result.partition) * result.cycles * self.params.cycle_seconds
 
     def dram_j(self, result: SimResult) -> float:
         return result.energy_counts.dram_bits * self.params.dram_energy_pj_per_bit * PJ

@@ -36,6 +36,11 @@ class EnergyParams:
     orf_access_pj: float = 0.9
     #: Cache tag lookup energy (pJ per lookup).
     tag_lookup_pj: float = 1.0
+    #: Chip design power at 32 nm (paper Section 5.2: 130 W).
+    chip_power_w: float = 130.0
+    #: Share of chip energy consumed by the SMs; the remainder is the
+    #: memory system (paper Section 5.2: 70% / 30%).
+    sm_energy_share: float = 0.70
 
     @property
     def cycle_seconds(self) -> float:

@@ -34,6 +34,15 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 
 import repro
+from repro.chip import (
+    CHIP_RESULT_FORMAT_VERSION,
+    ChipConfig,
+    ChipResult,
+    chip_fingerprint,
+    chip_result_from_dict,
+    chip_result_to_dict,
+    simulate_chip,
+)
 from repro.compiler import CompiledKernel, compile_kernel
 from repro.core import allocate_unified, fermi_like, partitioned_baseline
 from repro.core.allocator import AllocationError, UnifiedAllocation
@@ -158,6 +167,7 @@ class Runner:
         self._traces: dict[tuple, KernelTrace] = {}
         self._compiled: dict[tuple, CompiledKernel] = {}
         self._sims: dict[tuple, SimResult] = {}
+        self._chips: dict[tuple, ChipResult] = {}
         self._sim_errors: dict[tuple, tuple[str, str]] = {}
         self._allocs: dict[tuple, UnifiedAllocation] = {}
         self._alloc_errors: dict[tuple, tuple[str, str]] = {}
@@ -178,6 +188,7 @@ class Runner:
         v._traces = self._traces
         v._compiled = self._compiled
         v._sims = self._sims
+        v._chips = self._chips
         v._sim_errors = self._sim_errors
         v._allocs = self._allocs
         v._alloc_errors = self._alloc_errors
@@ -202,6 +213,7 @@ class Runner:
         """Merge journal entries from another Runner (worker process)."""
         memos = {
             "sim": self._sims,
+            "chip": self._chips,
             "sim_error": self._sim_errors,
             "alloc": self._allocs,
             "alloc_error": self._alloc_errors,
@@ -244,6 +256,43 @@ class Runner:
 
     def _sim_disk_key(self, key: tuple) -> tuple:
         return ("sim", RESULT_FORMAT_VERSION, repro.__version__, self.scale, key)
+
+    def chip_sim_key(
+        self,
+        name: str,
+        partition: MemoryPartition,
+        chip: ChipConfig,
+        regs: int | None = None,
+        thread_target: int | None = None,
+        **params,
+    ) -> tuple:
+        """The memo key one chip simulation is stored under.
+
+        The :func:`~repro.chip.chip_fingerprint` stands in for the
+        SMConfig fingerprint of :meth:`sim_key` -- it embeds the nested
+        per-SM config, so chips differing in SM timing, SM count, or
+        DRAM arbitration never share an entry.
+        """
+        return (
+            name,
+            regs,
+            _partition_key(partition),
+            thread_target,
+            tuple(sorted(params.items())),
+            chip_fingerprint(chip),
+        )
+
+    def _chip_disk_key(self, key: tuple) -> tuple:
+        # Folds in both schema versions: the chip envelope's and the
+        # per-SM result format the envelope embeds.
+        return (
+            "chip",
+            CHIP_RESULT_FORMAT_VERSION,
+            RESULT_FORMAT_VERSION,
+            repro.__version__,
+            self.scale,
+            key,
+        )
 
     def _sim_error_disk_key(self, key: tuple) -> tuple:
         return ("sim_error", repro.__version__, self.scale, key)
@@ -376,6 +425,52 @@ class Runner:
     def _memo_sim_error(self, key: tuple, record: tuple[str, str]) -> None:
         self._sim_errors[key] = record
         self._record("sim_error", key, record)
+
+    def simulate_chip(
+        self,
+        name: str,
+        partition: MemoryPartition,
+        chip: ChipConfig | None = None,
+        regs: int | None = None,
+        thread_target: int | None = None,
+        **params,
+    ) -> ChipResult:
+        """Run one kernel launch across a whole chip (memoised + cached).
+
+        Defaults to the paper's 32-SM chip built from this runner's
+        SMConfig; pass ``chip`` for other shapes (``ChipConfig.single_sm``
+        reproduces :meth:`simulate` bit for bit).  Chip artifacts persist
+        in the disk cache as JSON meta entries and ship through the
+        journal like single-SM results.
+        """
+        cfg = chip or ChipConfig(sm=self.config)
+        key = self.chip_sim_key(
+            name, partition, cfg, regs=regs, thread_target=thread_target, **params
+        )
+        if key in self._chips:
+            return self._chips[key]
+        result = None
+        if self.cache is not None:
+            payload = self.cache.get_meta(self._chip_disk_key(key))
+            if payload is not None:
+                try:
+                    result = chip_result_from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    result = None
+        if result is None:
+            result = simulate_chip(
+                self.compiled(name, regs, **params),
+                partition,
+                cfg,
+                thread_target=thread_target,
+            )
+            if self.cache is not None:
+                self.cache.put_meta(
+                    self._chip_disk_key(key), chip_result_to_dict(result)
+                )
+        self._chips[key] = result
+        self._record("chip", key, result)
+        return result
 
     def baseline(self, name: str, **kw) -> SimResult:
         """The 256/64/64 partitioned baseline (Section 2.1)."""

@@ -8,9 +8,10 @@ both the partitioned baseline and the unified design share:
   sectors.
 * :mod:`repro.memory.cache` -- the 4-way, write-through, no-write-
   allocate primary data cache with one tag lookup per cycle.
-* :mod:`repro.memory.dram` -- a single SM's share of DRAM: 8 bytes/cycle
-  of bandwidth, 400 cycles latency, access counting (the paper's DRAM
-  traffic metric).
+* :mod:`repro.memory.dram` -- a single SM's share of DRAM (8 bytes/cycle
+  of bandwidth, 400 cycles latency, access counting -- the paper's DRAM
+  traffic metric) plus the chip-level shared ``DRAMSystem`` whose
+  channels arbitrate requests from multiple SMs FCFS.
 * :mod:`repro.memory.sharedmem` -- per-CTA scratchpad allocation.
 * :mod:`repro.memory.banks` -- the bank-conflict models: per-structure
   banks for the partitioned design, merged banks with arbitration
@@ -27,7 +28,7 @@ from repro.memory.banks import (
 )
 from repro.memory.cache import CacheStats, DataCache
 from repro.memory.coalescer import coalesce_lines, coalesce_sectors
-from repro.memory.dram import DRAMChannel
+from repro.memory.dram import DRAMChannel, DRAMPort, DRAMSystem
 from repro.memory.sharedmem import SharedMemoryFile
 
 __all__ = [
@@ -36,6 +37,8 @@ __all__ = [
     "ClusterPortUnifiedBanks",
     "ConflictHistogram",
     "DRAMChannel",
+    "DRAMPort",
+    "DRAMSystem",
     "DataCache",
     "PartitionedBanks",
     "SharedMemoryFile",

@@ -1,15 +1,26 @@
-"""DRAM channel model: one SM's share of chip bandwidth.
+"""DRAM models: a single SM's private channel and the shared chip system.
 
 The paper's methodology (Section 5.1) simulates a single SM and gives it
 8 bytes/cycle of DRAM bandwidth (1/32 of the chip's 256 bytes/cycle)
-with a 400-cycle access latency (Table 2).  The model is a simple
-bandwidth-reserving queue: each request serialises on the channel at
-8 bytes/cycle and completes ``latency`` cycles after its data starts
-transferring.  Requests must be issued in non-decreasing time order,
-which the event-driven SM simulator guarantees.
+with a 400-cycle access latency (Table 2).  :class:`DRAMChannel` is that
+model: a simple bandwidth-reserving queue where each request serialises
+on the channel at 8 bytes/cycle and completes ``latency`` cycles after
+its data starts transferring.  Requests must be issued in non-decreasing
+time order, which the event-driven SM simulator guarantees.
 
-The channel counts one DRAM *access* per request (a 128-byte line fill
-is one access; an uncached 32-byte sector read is one access) -- this is
+:class:`DRAMSystem` is the chip-level generalisation used by
+:mod:`repro.chip`: the full off-chip bandwidth split over a few
+channels, arbitrated between SMs first-come-first-served with the same
+bus-busy accounting.  Each SM talks to the system through a
+:class:`DRAMPort`, which keeps the per-SM traffic counters the energy
+model and per-SM results need (requests from *one* SM are still
+time-ordered; requests from different SMs may interleave, which is
+exactly the contention being modelled).  A 1-SM system with one channel
+carrying the 8 B/cycle slice reproduces :class:`DRAMChannel` cycle for
+cycle -- the paper's single-SM methodology is the N=1 instantiation.
+
+Channels count one DRAM *access* per request (a 128-byte line fill is
+one access; an uncached 32-byte sector read is one access) -- this is
 the metric behind Table 1 columns 10-12, where streaming benchmarks show
 ~4x more accesses with no cache because each warp load becomes four
 sector transactions instead of one line fill.  Total bytes are tracked
@@ -56,10 +67,12 @@ class DRAMChannel:
         """
         if now < self._last_request_time:
             raise ValueError(
-                f"requests must be time-ordered: {now} after {self._last_request_time}"
+                f"DRAM requests must be issued in non-decreasing time order: "
+                f"request at cycle {now} arrived after one at cycle "
+                f"{self._last_request_time} (bus accounting would corrupt)"
             )
         if nbytes <= 0:
-            raise ValueError("nbytes must be positive")
+            raise ValueError(f"DRAM request size must be positive, got {nbytes}")
         self._last_request_time = now
         start = max(now, self.free_at)
         service = nbytes / self.bytes_per_cycle
@@ -77,6 +90,151 @@ class DRAMChannel:
 
     def utilisation(self, total_cycles: float) -> float:
         """Fraction of cycles the channel was transferring data."""
+        return channel_utilisation(
+            self.bytes_transferred, self.bytes_per_cycle, total_cycles
+        )
+
+
+class DRAMPort:
+    """One SM's handle on a shared :class:`DRAMSystem`.
+
+    Presents the same request/accounting surface as a private
+    :class:`DRAMChannel` (``request``, ``accesses``,
+    ``bytes_transferred``, ``bits_transferred``, ``free_at``), so the SM
+    simulator is indifferent to whether its DRAM is private or shared.
+    ``free_at`` is the completion time of *this SM's* last transfer, not
+    the whole bus -- the quantity a per-SM result's end-of-run check
+    needs.
+    """
+
+    __slots__ = (
+        "system",
+        "source",
+        "observer",
+        "accesses",
+        "bytes_transferred",
+        "free_at",
+        "_last_request_time",
+    )
+
+    def __init__(self, system: "DRAMSystem", source: int, observer=None) -> None:
+        self.system = system
+        self.source = source
+        #: Optional ``observer(busy_start, busy_end, nbytes)``, same hook
+        #: as :attr:`DRAMChannel.observer` (per-SM DRAM utilisation).
+        self.observer = observer
+        self.accesses = 0
+        self.bytes_transferred = 0
+        self.free_at = 0.0
+        self._last_request_time = 0.0
+
+    def request(self, now: float, nbytes: int) -> float:
+        """Issue a transfer of ``nbytes`` at time ``now`` (see DRAMChannel)."""
+        if now < self._last_request_time:
+            raise ValueError(
+                f"DRAM requests from SM {self.source} must be issued in "
+                f"non-decreasing time order: request at cycle {now} arrived "
+                f"after one at cycle {self._last_request_time}"
+            )
+        if nbytes <= 0:
+            raise ValueError(f"DRAM request size must be positive, got {nbytes}")
+        self._last_request_time = now
+        start, end = self.system._serve(now, nbytes)
+        self.accesses += 1
+        self.bytes_transferred += nbytes
+        if end > self.free_at:
+            self.free_at = end
+        if self.observer is not None:
+            self.observer(start, end, nbytes)
+        return end + self.system.latency
+
+    @property
+    def bits_transferred(self) -> int:
+        """This SM's off-chip traffic in bits."""
+        return 8 * self.bytes_transferred
+
+
+class DRAMSystem:
+    """Chip-wide DRAM: total bandwidth over a few shared channels.
+
+    Arbitration is first-come-first-served in *arrival* order with
+    bus-busy accounting: each request picks the channel that frees
+    earliest (a memory controller balancing load), starts no earlier
+    than both its own issue time and that channel's ``free_at``, and
+    reserves the bus for ``nbytes / bytes_per_cycle`` cycles.  Requests
+    from different SMs may arrive with slightly out-of-order timestamps
+    (each SM's stream is monotone, the interleaving is not); a
+    later-arriving request queues behind already-accepted ones, which is
+    FCFS as a memory controller would see it.
+
+    Args:
+        bytes_per_cycle: Total off-chip bandwidth (paper: 256 B/cycle).
+        channels: Independent channels the bandwidth is striped over;
+            each serves ``bytes_per_cycle / channels``.
+        latency: Access latency in cycles (Table 2: 400).
+        transaction_bytes: Sector size of uncached accesses.
+    """
+
+    def __init__(
+        self,
+        bytes_per_cycle: float = 256.0,
+        channels: int = 8,
+        latency: int = 400,
+        transaction_bytes: int = 32,
+    ) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if transaction_bytes <= 0:
+            raise ValueError("transaction_bytes must be positive")
+        self.bytes_per_cycle = bytes_per_cycle
+        self.num_channels = channels
+        self.channel_bytes_per_cycle = bytes_per_cycle / channels
+        self.latency = latency
+        self.transaction_bytes = transaction_bytes
+        self.channel_free_at = [0.0] * channels
+        self.channel_accesses = [0] * channels
+        self.channel_bytes = [0] * channels
+
+    def port(self, source: int, observer=None) -> DRAMPort:
+        """A per-SM handle with its own traffic accounting."""
+        return DRAMPort(self, source, observer)
+
+    def _serve(self, now: float, nbytes: int) -> tuple[float, float]:
+        """Reserve bus time for one request; returns (start, end)."""
+        free = self.channel_free_at
+        c = min(range(self.num_channels), key=free.__getitem__)
+        start = now if now > free[c] else free[c]
+        end = start + nbytes / self.channel_bytes_per_cycle
+        free[c] = end
+        self.channel_accesses[c] += 1
+        self.channel_bytes[c] += nbytes
+        return start, end
+
+    @property
+    def accesses(self) -> int:
+        """Total requests served across all channels."""
+        return sum(self.channel_accesses)
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total bytes moved across all channels."""
+        return sum(self.channel_bytes)
+
+    @property
+    def bits_transferred(self) -> int:
+        return 8 * self.bytes_transferred
+
+    @property
+    def free_at(self) -> float:
+        """When the last reserved transfer completes, system-wide."""
+        return max(self.channel_free_at)
+
+    def utilisation(self, total_cycles: float) -> float:
+        """Fraction of total chip bandwidth-cycles actually used."""
         return channel_utilisation(
             self.bytes_transferred, self.bytes_per_cycle, total_cycles
         )

@@ -44,6 +44,25 @@ class SMConfig:
     #: paper's Section 6.1 per-bank conflict model).
     cluster_port_banks: bool = False
 
+    def make_dram_channel(self, observer=None):
+        """The SM's default private DRAM port (its 1/32 chip slice).
+
+        This is the seam the chip simulator replaces: anything with the
+        same ``request`` / traffic-counter surface (for example a
+        :class:`repro.memory.dram.DRAMPort` onto a shared
+        :class:`~repro.memory.dram.DRAMSystem`) can stand in for the
+        private channel via :func:`repro.sm.simulate`'s ``dram``
+        argument.
+        """
+        from repro.memory.dram import DRAMChannel
+
+        return DRAMChannel(
+            bytes_per_cycle=self.dram_bytes_per_cycle,
+            latency=self.dram_latency,
+            transaction_bytes=self.dram_transaction_bytes,
+            observer=observer,
+        )
+
     def __post_init__(self) -> None:
         for name in (
             "alu_latency",

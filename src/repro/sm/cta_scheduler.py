@@ -34,16 +34,29 @@ class ResidentCTA:
 
 
 class CTAScheduler:
-    """Launches CTAs of one kernel under a partition's occupancy limits."""
+    """Launches CTAs of one kernel under a partition's occupancy limits.
+
+    By default the scheduler owns the whole grid and launches its CTAs
+    in index order -- the single-SM methodology of the paper.  A chip
+    simulation passes ``cta_source``, an object with a ``next_cta()``
+    method returning the next grid index to place on *this* SM (or
+    ``None`` when the grid is drained) and a ``remaining`` property, so
+    one kernel launch can be distributed over many SMs by a shared
+    dispatcher (:class:`repro.chip.CTADispatcher`).  With no source, the
+    built-in counter behaves exactly like a source handing out
+    ``0, 1, 2, ...``.
+    """
 
     def __init__(
         self,
         kernel: CompiledKernel,
         partition: MemoryPartition,
         thread_target: int | None = None,
+        cta_source=None,
     ) -> None:
         self.kernel = kernel
         self.partition = partition
+        self._source = cta_source
         launch = kernel.launch
         limits = occupancy_limits(
             partition,
@@ -66,28 +79,37 @@ class CTAScheduler:
 
     @property
     def remaining(self) -> int:
-        """CTAs of the grid not yet launched."""
+        """CTAs of the grid not yet launched (anywhere, if dispatched)."""
+        if self._source is not None:
+            return self._source.remaining
         return len(self.kernel.ctas) - self._next_index
 
     def launch_next(self) -> ResidentCTA | None:
         """Place the next pending CTA, or None when the grid is drained."""
-        if self._next_index >= len(self.kernel.ctas):
-            return None
+        if self._source is not None:
+            index = self._source.next_cta()
+            if index is None:
+                return None
+        else:
+            if self._next_index >= len(self.kernel.ctas):
+                return None
+            index = self._next_index
         smem_bytes = self.kernel.launch.smem_bytes_per_cta
         base = self._smem.alloc(smem_bytes)
         if base is None:
             raise LaunchError(
-                f"shared memory exhausted placing CTA {self._next_index} "
+                f"shared memory exhausted placing CTA {index} "
                 f"(occupancy limits said {self.max_concurrent} CTAs fit)"
             )
-        cta = self.kernel.ctas[self._next_index]
+        cta = self.kernel.ctas[index]
         resident = ResidentCTA(
-            index=self._next_index,
+            index=index,
             cta=cta,
             shared_base=base,
             warps_outstanding=cta.num_warps,
         )
-        self._next_index += 1
+        if self._source is None:
+            self._next_index += 1
         return resident
 
     def retire(self, resident: ResidentCTA) -> None:

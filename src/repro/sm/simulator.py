@@ -40,7 +40,6 @@ from repro.compiler.precompute import (
 from repro.core.partition import MemoryPartition
 from repro.memory.banks import make_bank_model
 from repro.memory.cache import DataCache
-from repro.memory.dram import DRAMChannel
 from repro.obs.collector import (
     CAUSE_BARRIER,
     CAUSE_MEMORY,
@@ -89,8 +88,17 @@ def simulate(
     config: SMConfig | None = None,
     thread_target: int | None = None,
     collector=None,
+    dram=None,
+    cta_source=None,
 ) -> SimResult:
     """Run one kernel launch to completion under a memory partition.
+
+    The SM's three external dependencies are injectable, which is what
+    makes it a composable chip component (:mod:`repro.chip`): its DRAM
+    port (``dram``), its supply of work (``cta_source``), and its
+    observability sink (``collector``).  With all three left at their
+    defaults this is exactly the paper's single-SM methodology -- a
+    private 1/32-bandwidth channel and the whole grid.
 
     Args:
         kernel: Compiled kernel (see :func:`repro.compiler.compile_kernel`).
@@ -103,6 +111,17 @@ def simulate(
             attribution, interval metrics, and trace events.  ``None``
             (or any collector with ``enabled == False``) keeps the hot
             loop uninstrumented; instrumentation never changes timing.
+        dram: Optional DRAM port standing in for the SM's private
+            channel -- anything with ``request(now, nbytes)`` plus the
+            ``accesses`` / ``bytes_transferred`` / ``bits_transferred``
+            / ``free_at`` counters (e.g. a
+            :class:`repro.memory.dram.DRAMPort`).  The caller owns its
+            observer wiring; the default channel is built by
+            :meth:`SMConfig.make_dram_channel` with the collector's
+            transfer hook attached.
+        cta_source: Optional work supply for the CTA scheduler (see
+            :class:`repro.sm.cta_scheduler.CTAScheduler`); ``None``
+            launches the whole grid on this SM in index order.
 
     Returns:
         A :class:`~repro.sm.result.SimResult` with cycles, DRAM traffic,
@@ -114,17 +133,15 @@ def simulate(
     """
     cfg = config or SMConfig()
     obs = collector if collector is not None and collector.enabled else None
-    scheduler = CTAScheduler(kernel, partition, thread_target)
+    scheduler = CTAScheduler(kernel, partition, thread_target, cta_source=cta_source)
     banks = make_bank_model(partition, cluster_port=cfg.cluster_port_banks)
     cache = DataCache(
         partition.cache_bytes, assoc=cfg.cache_assoc, line_bytes=cfg.cache_line_bytes
     )
-    dram = DRAMChannel(
-        bytes_per_cycle=cfg.dram_bytes_per_cycle,
-        latency=cfg.dram_latency,
-        transaction_bytes=cfg.dram_transaction_bytes,
-        observer=obs.dram_transfer if obs is not None else None,
-    )
+    if dram is None:
+        dram = cfg.make_dram_channel(
+            observer=obs.dram_transfer if obs is not None else None
+        )
     counts = EnergyCounts()
     line_bytes = cfg.cache_line_bytes
     plans_k = plan_kernel(kernel, line_bytes)

@@ -1,0 +1,201 @@
+"""Chip-level simulation behaviour: conservation, contention, results."""
+
+import pytest
+
+from repro.chip import (
+    ChipConfig,
+    chip_fingerprint,
+    chip_result_from_dict,
+    chip_result_to_dict,
+    simulate_chip,
+)
+from repro.core import partitioned_baseline
+from repro.obs import Collector
+from repro.sm import SMConfig, simulate
+from tests.util import compiled, multi_warp_kernel, warp_alu_chain, warp_streaming_loads
+
+
+def streaming_kernel(num_ctas=8, loads=16):
+    """A memory-bound kernel whose CTAs stream disjoint address ranges."""
+    warps = [warp_streaming_loads(loads, base=i << 22) for i in range(2)]
+    return compiled(multi_warp_kernel(warps, num_ctas=num_ctas))
+
+
+@pytest.fixture(scope="module")
+def stream_k():
+    return streaming_kernel()
+
+
+class TestDramConservation:
+    def test_chip_bytes_equal_sum_of_per_sm_bytes(self, stream_k):
+        cfg = ChipConfig(num_sms=4, dram_bytes_per_cycle=32.0, dram_channels=2)
+        cr = simulate_chip(stream_k, partitioned_baseline(), cfg)
+        assert cr.dram_bytes == sum(r.dram_bytes for r in cr.per_sm)
+        # ... and the shared channels moved exactly those bytes: every
+        # port request landed on some channel, nothing lost or doubled.
+        assert sum(cr.dram_channel_bytes) == cr.dram_bytes
+        assert cr.dram_accesses == sum(r.dram_accesses for r in cr.per_sm)
+        assert cr.dram_bytes > 0
+
+    def test_partitioned_chip_has_no_channel_record(self, stream_k):
+        cfg = ChipConfig(
+            num_sms=2, dram_bytes_per_cycle=16.0, dram_partitioned=True
+        )
+        cr = simulate_chip(stream_k, partitioned_baseline(), cfg)
+        assert cr.dram_channel_bytes == []
+        assert cr.dram_bytes == sum(r.dram_bytes for r in cr.per_sm)
+
+
+class TestWorkDistribution:
+    def test_all_ctas_execute_exactly_once(self, stream_k):
+        cfg = ChipConfig(num_sms=3, dram_bytes_per_cycle=24.0, dram_channels=3)
+        cr = simulate_chip(stream_k, partitioned_baseline(), cfg)
+        assert cr.total_ctas == len(stream_k.ctas)
+        assert sum(r.instructions for r in cr.per_sm) == cr.instructions
+        # Identical CTAs over one more SM than divides evenly: counts
+        # may differ by at most the residual, but all are > 0 here.
+        assert all(c > 0 for c in cr.ctas_per_sm)
+
+    def test_more_sms_than_ctas_leaves_sms_idle(self):
+        k = streaming_kernel(num_ctas=1)
+        cfg = ChipConfig(num_sms=2, dram_bytes_per_cycle=16.0, dram_channels=2)
+        cr = simulate_chip(k, partitioned_baseline(), cfg)
+        assert cr.ctas_per_sm == [1, 0]
+        assert cr.per_sm[1].instructions == 0
+        assert cr.per_sm[1].cycles == 0.0
+        assert cr.cycles == cr.per_sm[0].cycles
+
+    def test_makespan_is_max_over_sms(self, stream_k):
+        cfg = ChipConfig(num_sms=4, dram_bytes_per_cycle=32.0, dram_channels=2)
+        cr = simulate_chip(stream_k, partitioned_baseline(), cfg)
+        assert cr.cycles == max(r.cycles for r in cr.per_sm)
+
+
+class TestContention:
+    def test_shared_narrow_bus_slows_a_memory_bound_kernel(self, stream_k):
+        # Two SMs squeezed through one SM's worth of bandwidth must be
+        # slower per SM than an uncontended private channel.
+        solo = simulate(stream_k, partitioned_baseline())
+        cfg = ChipConfig(num_sms=2, dram_bytes_per_cycle=8.0, dram_channels=1)
+        cr = simulate_chip(stream_k, partitioned_baseline(), cfg)
+        assert cr.cycles > solo.cycles
+
+    def test_wider_bus_relieves_contention(self, stream_k):
+        part = partitioned_baseline()
+        narrow = simulate_chip(
+            stream_k, part, ChipConfig(num_sms=4, dram_bytes_per_cycle=8.0,
+                                       dram_channels=1)
+        )
+        wide = simulate_chip(
+            stream_k, part, ChipConfig(num_sms=4, dram_bytes_per_cycle=128.0,
+                                       dram_channels=4)
+        )
+        assert wide.cycles < narrow.cycles
+
+    def test_compute_bound_kernel_indifferent_to_sharing(self):
+        k = compiled(multi_warp_kernel([warp_alu_chain(64)], num_ctas=4))
+        part = partitioned_baseline()
+        shared = simulate_chip(
+            k, part, ChipConfig(num_sms=2, dram_bytes_per_cycle=16.0,
+                                dram_channels=1)
+        )
+        private = simulate_chip(
+            k, part, ChipConfig(num_sms=2, dram_bytes_per_cycle=16.0,
+                                dram_partitioned=True)
+        )
+        assert shared.cycles == private.cycles
+
+
+class TestObservability:
+    def test_per_sm_stall_attribution_conserves_under_contention(self, stream_k):
+        # Each SM's collector must conserve warp-cycles against the
+        # *chip* makespan, including cycles spent queued behind the
+        # other SM's DRAM traffic.
+        n = 2
+        cols = [Collector() for _ in range(n)]
+        cfg = ChipConfig(num_sms=n, dram_bytes_per_cycle=8.0, dram_channels=1)
+        cr = simulate_chip(
+            stream_k, partitioned_baseline(), cfg, collectors=cols
+        )
+        for i, col in enumerate(cols):
+            assert col.total_cycles == cr.cycles, f"SM {i}"
+            assert col.conservation_errors() == [], f"SM {i}"
+            assert cr.per_sm[i].stall_cycles, f"SM {i}"
+
+    def test_collector_count_must_match(self, stream_k):
+        cfg = ChipConfig(num_sms=2, dram_bytes_per_cycle=16.0)
+        with pytest.raises(ValueError, match="one per SM"):
+            simulate_chip(
+                stream_k, partitioned_baseline(), cfg, collectors=[Collector()]
+            )
+
+    def test_instrumentation_never_changes_timing(self, stream_k):
+        cfg = ChipConfig(num_sms=2, dram_bytes_per_cycle=16.0, dram_channels=2)
+        plain = simulate_chip(stream_k, partitioned_baseline(), cfg)
+        inst = simulate_chip(
+            stream_k, partitioned_baseline(), cfg,
+            collectors=[Collector(), Collector()],
+        )
+        assert inst.cycles == plain.cycles
+        assert [r.cycles for r in inst.per_sm] == [r.cycles for r in plain.per_sm]
+
+
+class TestConfig:
+    def test_defaults_are_the_papers_chip(self):
+        cfg = ChipConfig()
+        assert cfg.num_sms == 32
+        assert cfg.dram_bytes_per_cycle == 256.0
+        assert cfg.sm_bandwidth_slice == 8.0
+
+    def test_single_sm_carries_the_slice(self):
+        cfg = ChipConfig.single_sm()
+        assert cfg.num_sms == 1
+        assert cfg.dram_partitioned
+        assert cfg.sm_bandwidth_slice == SMConfig().dram_bytes_per_cycle
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_sms=0),
+            dict(dram_bytes_per_cycle=0.0),
+            dict(dram_channels=0),
+        ],
+    )
+    def test_bad_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            ChipConfig(**kwargs)
+
+    def test_fingerprint_distinguishes_chips(self):
+        a = chip_fingerprint(ChipConfig())
+        b = chip_fingerprint(ChipConfig(num_sms=16))
+        c = chip_fingerprint(ChipConfig(sm=SMConfig(alu_latency=99)))
+        assert len({a, b, c}) == 3
+        assert a == chip_fingerprint(ChipConfig())
+
+
+class TestSerialization:
+    def test_round_trip_is_exact(self, stream_k):
+        cfg = ChipConfig(num_sms=2, dram_bytes_per_cycle=16.0, dram_channels=2)
+        cr = simulate_chip(stream_k, partitioned_baseline(), cfg)
+        d = chip_result_to_dict(cr)
+        assert chip_result_to_dict(chip_result_from_dict(d)) == d
+
+    def test_round_trip_survives_json(self, stream_k, tmp_path):
+        import json
+
+        from repro.chip import load_chip_result, save_chip_result
+
+        cfg = ChipConfig(num_sms=2, dram_bytes_per_cycle=16.0, dram_channels=2)
+        cr = simulate_chip(stream_k, partitioned_baseline(), cfg)
+        path = tmp_path / "chip.json"
+        save_chip_result(cr, path)
+        loaded = load_chip_result(path)
+        assert chip_result_to_dict(loaded) == chip_result_to_dict(cr)
+        assert json.loads(path.read_text())["chip_version"] == 1
+
+    def test_version_gate(self, stream_k):
+        cfg = ChipConfig.single_sm()
+        d = chip_result_to_dict(simulate_chip(stream_k, partitioned_baseline(), cfg))
+        d["chip_version"] = 999
+        with pytest.raises(ValueError, match="format version"):
+            chip_result_from_dict(d)

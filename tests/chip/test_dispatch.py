@@ -1,0 +1,59 @@
+"""Unit tests for the chip-level CTA dispatcher."""
+
+import pytest
+
+from repro.chip import CTADispatcher
+
+
+class TestDispatchOrder:
+    def test_hands_out_grid_indices_in_order(self):
+        d = CTADispatcher(num_ctas=5, num_sms=2)
+        got = [d.next_cta(i % 2) for i in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+        assert d.next_cta(0) is None
+        assert d.next_cta(1) is None
+
+    def test_faster_sm_pulls_more_work(self):
+        # Whoever asks gets the next CTA -- no static striping.
+        d = CTADispatcher(num_ctas=4, num_sms=2)
+        d.next_cta(0)
+        d.next_cta(0)
+        d.next_cta(0)
+        d.next_cta(1)
+        assert d.assignments == [[0, 1, 2], [3]]
+
+    def test_remaining_counts_down(self):
+        d = CTADispatcher(num_ctas=3, num_sms=2)
+        assert d.remaining == 3
+        d.next_cta(1)
+        assert d.remaining == 2
+
+    def test_empty_grid(self):
+        d = CTADispatcher(num_ctas=0, num_sms=4)
+        assert d.remaining == 0
+        assert d.next_cta(2) is None
+
+
+class TestDispatchPort:
+    def test_port_routes_to_its_sm(self):
+        d = CTADispatcher(num_ctas=2, num_sms=2)
+        p0, p1 = d.port(0), d.port(1)
+        assert p1.next_cta() == 0
+        assert p0.next_cta() == 1
+        assert p0.remaining == 0 and p1.remaining == 0
+        assert d.assignments == [[1], [0]]
+
+    def test_port_is_a_cta_source(self):
+        # The shape CTAScheduler expects: next_cta() and remaining.
+        p = CTADispatcher(num_ctas=1, num_sms=1).port(0)
+        assert p.remaining == 1
+        assert p.next_cta() == 0
+        assert p.next_cta() is None
+
+
+class TestValidation:
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            CTADispatcher(num_ctas=-1, num_sms=1)
+        with pytest.raises(ValueError):
+            CTADispatcher(num_ctas=4, num_sms=0)

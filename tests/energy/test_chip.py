@@ -1,21 +1,29 @@
-"""Tests for the chip-level scale-up model."""
+"""Tests for the chip-level energy model (analytic and measured)."""
 
 import pytest
 
+from repro.chip import ChipConfig, simulate_chip
 from repro.core import partitioned_baseline
-from repro.energy.chip import CHIP_POWER_W, NUM_SMS, ChipModel
-from repro.sm import simulate
+from repro.energy import EnergyModel
+from repro.energy.chip import ChipModel
+from repro.energy.params import EnergyParams
 from tests.util import compiled, multi_warp_kernel, warp_alu_chain, warp_streaming_loads
 
 
 @pytest.fixture(scope="module")
-def busy_result():
+def busy_kernel():
     # A mixed workload keeping all 32 warps busy.
     warps = [warp_streaming_loads(8, base=i << 20) for i in range(4)] + [
         warp_alu_chain(100) for _ in range(4)
     ]
-    k = compiled(multi_warp_kernel(warps, num_ctas=4))
-    return simulate(k, partitioned_baseline())
+    return compiled(multi_warp_kernel(warps, num_ctas=4))
+
+
+@pytest.fixture(scope="module")
+def busy_result(busy_kernel):
+    from repro.sm import simulate
+
+    return simulate(busy_kernel, partitioned_baseline())
 
 
 class TestChipSummary:
@@ -34,14 +42,13 @@ class TestChipSummary:
         c = ChipModel().evaluate(busy_result)
         assert c.sm_energy_j > c.memory_system_j
 
-    def test_scaling_is_32x_sm(self, busy_result):
-        from repro.energy import EnergyModel
-
+    def test_scaling_is_num_sms_x_sm(self, busy_result):
         sm = EnergyModel().evaluate(busy_result)
-        c = ChipModel().evaluate(busy_result)
-        assert c.sm_energy_j == pytest.approx(
-            NUM_SMS * (sm.core_dynamic_j + sm.bank_j + sm.leakage_j)
-        )
+        per_sm = sm.core_dynamic_j + sm.bank_j + sm.leakage_j
+        c32 = ChipModel().evaluate(busy_result)
+        assert c32.sm_energy_j == pytest.approx(32 * per_sm)
+        c4 = ChipModel(num_sms=4).evaluate(busy_result)
+        assert c4.sm_energy_j == pytest.approx(4 * per_sm)
 
     def test_energy_per_instruction_positive(self, busy_result):
         c = ChipModel().evaluate(busy_result)
@@ -51,6 +58,69 @@ class TestChipSummary:
         text = ChipModel().evaluate(busy_result).summary()
         assert "W average" in text
 
-    def test_constants_match_paper(self):
-        assert NUM_SMS == 32
-        assert CHIP_POWER_W == 130.0
+    def test_paper_defaults(self):
+        p = EnergyParams()
+        assert p.chip_power_w == 130.0
+        assert p.sm_energy_share == 0.70
+        assert ChipModel().num_sms == 32
+
+    def test_budget_scales_with_chip_power(self, busy_result):
+        # Halving the chip budget halves the non-DRAM memory residual.
+        half = ChipModel(EnergyParams(chip_power_w=65.0))
+        assert half.non_dram_memory_power_w() == pytest.approx(
+            ChipModel().non_dram_memory_power_w() / 2
+        )
+
+    def test_bad_num_sms(self):
+        with pytest.raises(ValueError):
+            ChipModel(num_sms=0)
+
+
+class TestMeasuredChip:
+    def test_single_sm_measured_matches_analytic(self, busy_kernel, busy_result):
+        # A 1-SM chip with the private full-slice channel is the
+        # single-SM methodology, so the measured pricing must equal the
+        # analytic N=1 scale-up of the identical SimResult.
+        cr = simulate_chip(busy_kernel, partitioned_baseline(), ChipConfig.single_sm())
+        model = ChipModel(num_sms=1)
+        measured = model.evaluate_chip(cr)
+        analytic = model.evaluate(busy_result)
+        assert measured.total_j == pytest.approx(analytic.total_j)
+        assert measured.sm_energy_j == pytest.approx(analytic.sm_energy_j)
+        assert measured.memory_system_j == pytest.approx(analytic.memory_system_j)
+
+    def test_measured_sums_per_sm_counters(self, busy_kernel):
+        cr = simulate_chip(
+            busy_kernel,
+            partitioned_baseline(),
+            ChipConfig(num_sms=2, dram_bytes_per_cycle=16.0, dram_channels=2),
+        )
+        model = ChipModel()
+        em = model.energy_model
+        c = model.evaluate_chip(cr)
+        bank = sum(em.bank_energy_j(r) for r in cr.per_sm)
+        dram = sum(em.dram_j(r) for r in cr.per_sm)
+        core = 2 * em.core_dynamic_j(cr.cycles)
+        leak = 2 * em.leakage_w(cr.partition) * c.runtime_s
+        assert c.sm_energy_j == pytest.approx(core + bank + leak)
+        assert c.memory_system_j == pytest.approx(
+            dram + model.non_dram_memory_power_w() * c.runtime_s
+        )
+        assert c.total_j == pytest.approx(c.sm_energy_j + c.memory_system_j)
+
+    def test_idle_sms_still_leak(self, busy_kernel):
+        # 4-SM run of a 4-CTA grid: some SMs finish early (or get
+        # nothing), yet leakage is priced at the chip makespan for all.
+        cr = simulate_chip(
+            busy_kernel,
+            partitioned_baseline(),
+            ChipConfig(num_sms=4, dram_bytes_per_cycle=32.0, dram_channels=4),
+        )
+        model = ChipModel()
+        c = model.evaluate_chip(cr)
+        em = model.energy_model
+        assert c.runtime_s == pytest.approx(cr.cycles * 1e-9)
+        expected_leak = 4 * em.leakage_w(cr.partition) * c.runtime_s
+        bank = sum(em.bank_energy_j(r) for r in cr.per_sm)
+        core = 4 * em.core_dynamic_j(cr.cycles)
+        assert c.sm_energy_j == pytest.approx(core + bank + expected_leak)

@@ -1,8 +1,8 @@
-"""Unit tests for the DRAM channel model."""
+"""Unit tests for the DRAM models: private channel and shared system."""
 
 import pytest
 
-from repro.memory import DRAMChannel
+from repro.memory import DRAMChannel, DRAMSystem
 
 
 class TestTimingModel:
@@ -26,8 +26,22 @@ class TestTimingModel:
     def test_requests_must_be_time_ordered(self):
         d = DRAMChannel()
         d.request(100, 32)
-        with pytest.raises(ValueError, match="time-ordered"):
+        with pytest.raises(ValueError, match="non-decreasing time order"):
             d.request(50, 32)
+
+    def test_rejected_request_leaves_accounting_untouched(self):
+        # A refused request must not corrupt bus state: the channel
+        # still answers later (valid) requests as if it never happened.
+        d = DRAMChannel(bytes_per_cycle=8, latency=400)
+        d.request(100, 32)
+        free_at, accesses, nbytes = d.free_at, d.accesses, d.bytes_transferred
+        for bad in ((50, 32), (200, 0), (200, -8)):
+            with pytest.raises(ValueError):
+                d.request(*bad)
+        assert (d.free_at, d.accesses, d.bytes_transferred) == (
+            free_at, accesses, nbytes,
+        )
+        assert d.request(200, 32) == 200 + 400 + 4
 
 
 class TestTrafficAccounting:
@@ -68,5 +82,108 @@ class TestTrafficAccounting:
 
     def test_zero_byte_request_rejected(self):
         d = DRAMChannel()
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="must be positive"):
             d.request(0, 0)
+
+    def test_negative_byte_request_rejected(self):
+        d = DRAMChannel()
+        with pytest.raises(ValueError, match="must be positive"):
+            d.request(0, -32)
+
+
+class TestDRAMSystem:
+    def test_one_channel_system_matches_private_channel(self):
+        # The N=1 reduction the chip simulator's bit-identity rests on:
+        # a single-channel system serving one source reserves the exact
+        # bus intervals and completion times of a DRAMChannel.
+        chan = DRAMChannel(bytes_per_cycle=8, latency=400)
+        port = DRAMSystem(bytes_per_cycle=8, channels=1, latency=400).port(0)
+        for now, nbytes in ((0, 128), (5, 32), (100, 64), (100, 128)):
+            assert port.request(now, nbytes) == chan.request(now, nbytes)
+        assert port.free_at == chan.free_at
+        assert port.accesses == chan.accesses
+        assert port.bytes_transferred == chan.bytes_transferred
+
+    def test_fcfs_between_sources(self):
+        # Two SMs hitting one channel: the later arrival queues behind
+        # the reserved bus time of the earlier one.
+        sys = DRAMSystem(bytes_per_cycle=8, channels=1, latency=400)
+        a, b = sys.port(0), sys.port(1)
+        first = a.request(0, 128)  # bus busy [0, 16)
+        second = b.request(0, 128)  # queues: bus busy [16, 32)
+        assert second == first + 16
+
+    def test_sources_may_interleave_out_of_order(self):
+        # Per-source streams are monotone; the *interleaving* is not.
+        sys = DRAMSystem(bytes_per_cycle=8, channels=1, latency=400)
+        a, b = sys.port(0), sys.port(1)
+        a.request(100, 32)
+        done = b.request(50, 32)  # earlier timestamp, later arrival: queues
+        assert done == 104 + 400 + 4
+
+    def test_per_source_time_order_enforced(self):
+        port = DRAMSystem().port(3)
+        port.request(100, 32)
+        with pytest.raises(ValueError, match="SM 3"):
+            port.request(50, 32)
+
+    def test_non_positive_bytes_rejected(self):
+        port = DRAMSystem().port(0)
+        for bad in (0, -8):
+            with pytest.raises(ValueError, match="must be positive"):
+                port.request(0, bad)
+
+    def test_least_loaded_channel_wins(self):
+        sys = DRAMSystem(bytes_per_cycle=16, channels=2, latency=0)
+        p = sys.port(0)
+        p.request(0, 80)  # channel 0 busy until 10 (8 B/cycle each)
+        p.request(0, 8)  # channel 1 is free: starts immediately
+        assert sys.channel_free_at == [10.0, 1.0]
+        p.request(0, 8)  # channel 1 still frees earliest
+        assert sys.channel_free_at == [10.0, 2.0]
+
+    def test_port_accounting_sums_to_system(self):
+        sys = DRAMSystem(bytes_per_cycle=16, channels=2, latency=400)
+        a, b = sys.port(0), sys.port(1)
+        a.request(0, 128)
+        b.request(0, 64)
+        a.request(10, 32)
+        assert sys.accesses == a.accesses + b.accesses == 3
+        assert sys.bytes_transferred == a.bytes_transferred + b.bytes_transferred
+        assert sys.bytes_transferred == sum(sys.channel_bytes)
+        assert sys.bits_transferred == 8 * 224
+
+    def test_port_free_at_is_per_source(self):
+        sys = DRAMSystem(bytes_per_cycle=8, channels=1, latency=0)
+        a, b = sys.port(0), sys.port(1)
+        a.request(0, 80)  # bus busy [0, 10)
+        b.request(0, 8)  # queues: [10, 11)
+        assert a.free_at == 10.0
+        assert b.free_at == 11.0
+        assert sys.free_at == 11.0
+
+    def test_observer_sees_bus_busy_interval(self):
+        seen = []
+        sys = DRAMSystem(bytes_per_cycle=8, channels=1, latency=400)
+        p = sys.port(0, observer=lambda s, e, n: seen.append((s, e, n)))
+        p.request(0, 128)
+        p.request(0, 64)
+        assert seen == [(0.0, 16.0, 128), (16.0, 24.0, 64)]
+
+    def test_utilisation(self):
+        sys = DRAMSystem(bytes_per_cycle=16, channels=2)
+        sys.port(0).request(0, 800)
+        assert sys.utilisation(100) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(bytes_per_cycle=0),
+            dict(channels=0),
+            dict(latency=-1),
+            dict(transaction_bytes=0),
+        ],
+    )
+    def test_bad_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            DRAMSystem(**kwargs)

@@ -43,6 +43,41 @@ class TestRun:
             main(["run", "nosuch", "--scale", "tiny"])
 
 
+class TestChip:
+    def test_two_sm_run_prints_per_sm_table_and_energy(self, capsys):
+        assert main(
+            ["chip", "matrixmul", "--scale", "tiny", "--sms", "2", "-q"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Per-SM results" in out
+        assert "2 SMs" in out
+        assert "channel utilisation" in out
+        assert "energy (measured per-SM)" in out
+
+    def test_partitioned_dram_skips_channel_report(self, capsys):
+        assert main(
+            ["chip", "matrixmul", "--scale", "tiny", "--sms", "2",
+             "--partitioned-dram", "-q"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "channel utilisation" not in out
+
+    def test_metrics_and_manifest(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        metrics = tmp_path / "chip.json"
+        assert main(
+            ["chip", "vectoradd", "--scale", "tiny", "--sms", "2",
+             "--design", "baseline", "--cache-dir", str(cache),
+             "--metrics-out", str(metrics), "-q"]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(metrics.read_text())
+        assert payload["chip_version"] == 1
+        assert len(payload["per_sm"]) == 2
+        assert payload["config"]["num_sms"] == 2
+        assert len(list((cache / "manifests").glob("run-*.json"))) == 1
+
+
 class TestExperiment:
     def test_table4(self, capsys):
         assert main(["experiment", "table4"]) == 0
