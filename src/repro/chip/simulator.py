@@ -148,12 +148,30 @@ class _SMCore:
         return max(self.issued_until, self.mem_port_free, self.dram.free_at)
 
 
+def _tee_channel_observer(sm_hook, chip_hook, channel: int):
+    """Fan a private DRAMChannel's observer out to the SM and chip sinks.
+
+    Partitioned DRAM has no :class:`~repro.memory.dram.DRAMSystem` to
+    carry a ``channel_observer``, so the chip collector sees SM ``i``'s
+    private slice as channel ``i`` through this shim.
+    """
+    if sm_hook is None:
+        def tee(start, end, nbytes):
+            chip_hook(channel, start, end, nbytes)
+    else:
+        def tee(start, end, nbytes):
+            sm_hook(start, end, nbytes)
+            chip_hook(channel, start, end, nbytes)
+    return tee
+
+
 def simulate_chip(
     kernel: CompiledKernel,
     partition: MemoryPartition,
     chip: ChipConfig | None = None,
     thread_target: int | None = None,
     collectors=None,
+    chip_collector=None,
 ) -> ChipResult:
     """Run one kernel launch across every SM of a chip.
 
@@ -176,6 +194,12 @@ def simulate_chip(
             sees only that SM's events; all are finished at the chip
             makespan so per-SM stall attribution conserves against chip
             time.
+        chip_collector: Optional
+            :class:`~repro.obs.chip.ChipCollector`; its per-SM
+            collectors become the ``collectors`` list, its DRAM hook
+            rides the channel observer, and its dispatcher tap records
+            every CTA hand-out and retirement.  Mutually exclusive with
+            ``collectors``.
 
     Returns:
         A :class:`~repro.chip.result.ChipResult` holding one measured
@@ -184,6 +208,25 @@ def simulate_chip(
     cfg = chip or ChipConfig()
     sm_cfg = cfg.sm
     n = cfg.num_sms
+    chip_obs = (
+        chip_collector
+        if chip_collector is not None and chip_collector.enabled
+        else None
+    )
+    if chip_obs is not None:
+        if collectors is not None:
+            raise ValueError("pass either collectors or chip_collector, not both")
+        if chip_obs.num_sms != n:
+            raise ValueError(
+                f"chip_collector shaped for {chip_obs.num_sms} SMs, chip has {n}"
+            )
+        expected_channels = n if cfg.dram_partitioned else cfg.dram_channels
+        if chip_obs.num_channels != expected_channels:
+            raise ValueError(
+                f"chip_collector shaped for {chip_obs.num_channels} DRAM "
+                f"channels, chip has {expected_channels}"
+            )
+        collectors = chip_obs.collectors
     if collectors is None:
         collectors = [None] * n
     if len(collectors) != n:
@@ -197,6 +240,9 @@ def simulate_chip(
             channels=cfg.dram_channels,
             latency=sm_cfg.dram_latency,
             transaction_bytes=sm_cfg.dram_transaction_bytes,
+            channel_observer=(
+                chip_obs.dram_channel_transfer if chip_obs is not None else None
+            ),
         )
 
     cores: list[_SMCore] = []
@@ -206,6 +252,8 @@ def simulate_chip(
         if system is not None:
             dram = system.port(i, observer=hook)
         else:
+            if chip_obs is not None:
+                hook = _tee_channel_observer(hook, chip_obs.dram_channel_transfer, i)
             dram = DRAMChannel(
                 bytes_per_cycle=cfg.sm_bandwidth_slice,
                 latency=sm_cfg.dram_latency,
@@ -247,6 +295,10 @@ def simulate_chip(
         obs = core.obs
         if obs is not None:
             obs.cta_launch(resident.index, now, len(resident.cta.warps))
+        if chip_obs is not None:
+            chip_obs.cta_dispatch(
+                resident.index, core.index, now, dispatcher.remaining
+            )
         warp_plans = plans_k[resident.index]
         for wi, cw in enumerate(resident.cta.warps):
             w = _ChipWarp(
@@ -330,6 +382,8 @@ def simulate_chip(
                     core.scheduler.retire(cta)
                     if obs is not None:
                         obs.cta_retire(cta.index, release)
+                    if chip_obs is not None:
+                        chip_obs.cta_retire(cta.index, core.index, release)
                     core.live_ctas -= 1
                     if spawn_cta(core, release):
                         core.live_ctas += 1
@@ -477,6 +531,8 @@ def simulate_chip(
             core.scheduler.retire(cta)
             if obs is not None:
                 obs.cta_retire(cta.index, issue_done)
+            if chip_obs is not None:
+                chip_obs.cta_retire(cta.index, core.index, issue_done)
             core.live_ctas -= 1
             if spawn_cta(core, issue_done):
                 core.live_ctas += 1
@@ -538,6 +594,9 @@ def simulate_chip(
                 stall_cycles=stall_cycles,
             )
         )
+
+    if chip_obs is not None:
+        chip_obs.finish(chip_cycles)
 
     return ChipResult(
         kernel=kernel.name,

@@ -14,10 +14,15 @@ Commands
 ``profile BENCH``
     Simulate one benchmark with the observability layer attached and
     print the per-cause stall-cycle attribution (plus optional interval
-    metrics / trace JSON).
+    metrics / trace JSON).  With ``--sms N`` the run happens at chip
+    scope: the roll-up sums every SM, ``--metrics-out`` switches to the
+    ``repro.obs.chipmetrics/1`` time series.
 ``trace BENCH``
     Write a Chrome trace-event file of one simulation, viewable in
-    Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+    Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  With
+    ``--sms N`` the file is the merged chip timeline
+    (``repro.obs.trace/2``): a process per SM plus DRAM-channel and
+    CTA-dispatcher tracks.
 ``experiment ID``
     Regenerate one of the paper's tables/figures (``table1``,
     ``figure2`` ... ``figure11``, ``ablation-cluster-port``,
@@ -121,6 +126,7 @@ def _finish_run(
     executor,
     experiments: list[dict] | None = None,
     per_experiment: list[dict] | None = None,
+    chip_summary: dict | None = None,
 ) -> None:
     """Post-run observability: ``--metrics-out`` file and run manifest.
 
@@ -148,6 +154,7 @@ def _finish_run(
             jobs=args.jobs,
             experiments=experiments,
             executor=executor,
+            chip=chip_summary,
         )
         path = runner.cache.put_manifest(manifest)
         log.info("wrote run manifest to %s", path)
@@ -191,35 +198,59 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--chip", action="store_true",
                      help="scale the result to the 32-SM, 130 W chip (paper 5.2)")
 
+    def _add_chip_flags(p: argparse.ArgumentParser, default_sms=None) -> None:
+        """The chip topology group shared by ``chip``/``profile``/``trace``.
+
+        ``chip`` always runs at chip scope (``default_sms=32``);
+        ``profile`` and ``trace`` stay single-SM unless ``--sms`` is
+        given, and reject the chip-only flags without it (see
+        :func:`_chip_mode`).
+        """
+        g = p.add_argument_group("chip topology")
+        if default_sms is None:
+            g.add_argument("--sms", type=_positive_int, default=None, metavar="N",
+                           help="run at chip scope across N SMs "
+                                "(default: single SM)")
+        else:
+            g.add_argument("--sms", type=_positive_int, default=default_sms,
+                           metavar="N",
+                           help=f"SMs on the chip (default {default_sms}, "
+                                "the paper's)")
+        g.add_argument("--total-bw", type=float, default=None, metavar="B_PER_CYC",
+                       help="total chip DRAM bandwidth in bytes/cycle "
+                            "(default 256, shared by all SMs)")
+        g.add_argument("--channels", type=_positive_int, default=None,
+                       help="shared DRAM channels (default 8)")
+        g.add_argument("--partitioned-dram", action="store_true",
+                       help="give each SM a private bandwidth slice (the "
+                            "paper's fixed-slice methodology) instead of "
+                            "shared arbitrated channels")
+
     ch = sub.add_parser("chip", parents=[common],
                         help="simulate N SMs sharing arbitrated DRAM")
     _add_design_flags(ch)
-    ch.add_argument("--sms", type=_positive_int, default=32, metavar="N",
-                    help="SMs on the chip (default 32, the paper's)")
-    ch.add_argument("--total-bw", type=float, default=256.0, metavar="B_PER_CYC",
-                    help="total chip DRAM bandwidth in bytes/cycle "
-                         "(default 256, shared by all SMs)")
-    ch.add_argument("--channels", type=_positive_int, default=8,
-                    help="shared DRAM channels (default 8)")
-    ch.add_argument("--partitioned-dram", action="store_true",
-                    help="give each SM a private bandwidth slice (the "
-                         "paper's fixed-slice methodology) instead of "
-                         "shared arbitrated channels")
+    _add_chip_flags(ch, default_sms=32)
+    ch.add_argument("--profile", action="store_true",
+                    help="attach chip-scope collectors: per-SM top stall "
+                         "cause in the table plus the chip roll-up")
     _add_executor_flags(ch)
 
     prof = sub.add_parser("profile", parents=[common],
                           help="stall-cycle attribution for one benchmark")
     _add_design_flags(prof)
+    _add_chip_flags(prof)
     prof.add_argument("--window", type=_positive_int, default=1000, metavar="CYCLES",
                       help="interval-metrics window width (default 1000)")
     prof.add_argument("--metrics-out", default=None, metavar="PATH",
-                      help="write interval time-series metrics JSON")
+                      help="write interval time-series metrics JSON "
+                           "(chipmetrics schema under --sms)")
     prof.add_argument("--trace-out", default=None, metavar="PATH",
                       help="also write a Chrome trace-event file")
 
     tr = sub.add_parser("trace", parents=[common],
                         help="write a Perfetto-compatible warp trace")
     _add_design_flags(tr)
+    _add_chip_flags(tr)
     tr.add_argument("--out", default=None, metavar="PATH",
                     help="trace file path (default <benchmark>.trace.json)")
     tr.add_argument("--max-events", type=_positive_int, default=1_000_000,
@@ -344,8 +375,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chip_mode(args: argparse.Namespace) -> bool:
+    """Whether this ``profile``/``trace`` invocation runs at chip scope.
+
+    The chip-only flags are meaningless on a single SM, so combining
+    them with single-SM mode is a usage error, not a silent ignore.
+    """
+    if args.sms is not None:
+        return True
+    offending = [
+        flag
+        for flag, given in (
+            ("--total-bw", args.total_bw is not None),
+            ("--channels", args.channels is not None),
+            ("--partitioned-dram", args.partitioned_dram),
+        )
+        if given
+    ]
+    if offending:
+        log.error(
+            "%s only apply to chip runs; add --sms N to run at chip "
+            "scope, or drop the flag(s) for a single-SM run",
+            "/".join(offending),
+        )
+        raise SystemExit(2)
+    return False
+
+
+def _chip_config(rn, args: argparse.Namespace):
+    """The ChipConfig an invocation's chip flags denote."""
+    from repro.chip import ChipConfig
+
+    return ChipConfig(
+        num_sms=args.sms,
+        dram_bytes_per_cycle=args.total_bw if args.total_bw is not None else 256.0,
+        dram_channels=args.channels if args.channels is not None else 8,
+        dram_partitioned=args.partitioned_dram,
+        sm=rn.config,
+    )
+
+
+def _top_stall(stalls: dict) -> str:
+    """``cause xx%`` for the dominant attributed cause (table cell)."""
+    total = sum(stalls.values())
+    if not total:
+        return "-"
+    cause = max(stalls, key=stalls.get)
+    return f"{cause} {100.0 * stalls[cause] / total:.0f}%"
+
+
+def _print_chip_rollup(cc) -> None:
+    """The chip-wide stall roll-up line under the per-SM table."""
+    from repro.obs import STALL_CAUSES
+
+    totals = cc.stall_totals()
+    warp_cycles = cc.warps * (cc.total_cycles or 1.0)
+    issue = cc.issue_cycles
+    parts = [f"issue {100.0 * issue / warp_cycles:.1f}%"]
+    parts += [
+        f"{cause} {100.0 * totals[cause] / warp_cycles:.1f}%"
+        for cause in STALL_CAUSES
+        if totals[cause]
+    ]
+    print(
+        f"chip stall roll-up ({cc.warps} warps x {cc.total_cycles:.0f} "
+        f"cycles): " + ", ".join(parts)
+    )
+
+
 def _cmd_chip(args: argparse.Namespace) -> int:
-    from repro.chip import ChipConfig, chip_result_to_dict
+    from repro.chip import chip_result_to_dict
     from repro.energy.chip import ChipModel
     from repro.experiments.report import format_table
     from repro.memory.dram import channel_utilisation
@@ -353,13 +452,12 @@ def _cmd_chip(args: argparse.Namespace) -> int:
     executor = _make_executor(args)
     rn = executor.runner
     partition = _resolve_partition(rn, args)
-    chip = ChipConfig(
-        num_sms=args.sms,
-        dram_bytes_per_cycle=args.total_bw,
-        dram_channels=args.channels,
-        dram_partitioned=args.partitioned_dram,
-        sm=rn.config,
-    )
+    chip = _chip_config(rn, args)
+    cc = None
+    if args.profile:
+        from repro.obs import ChipCollector
+
+        cc = ChipCollector.for_chip(chip)
     t0 = time.perf_counter()
     cr = rn.simulate_chip(
         args.benchmark,
@@ -367,8 +465,10 @@ def _cmd_chip(args: argparse.Namespace) -> int:
         chip=chip,
         regs=args.regs,
         thread_target=args.threads,
+        chip_collector=cc,
     )
     dt = time.perf_counter() - t0
+    profiled = any(r.stall_cycles for r in cr.per_sm)
     rows = [
         [
             i,
@@ -379,17 +479,28 @@ def _cmd_chip(args: argparse.Namespace) -> int:
             r.dram_accesses,
             r.dram_bytes,
         ]
+        + ([_top_stall(r.stall_cycles)] if profiled else [])
         for i, r in enumerate(cr.per_sm)
     ]
+    headers = ["sm", "ctas", "cycles", "instructions", "ipc", "dram acc", "dram B"]
+    if profiled:
+        headers.append("top stall")
     print(
         format_table(
-            ["sm", "ctas", "cycles", "instructions", "ipc", "dram acc", "dram B"],
+            headers,
             rows,
             title=f"Per-SM results: {args.benchmark} ({args.design}), "
                   f"{cr.num_sms} SMs",
         )
     )
     print(cr.summary())
+    if cc is not None:
+        errors = cc.conservation_errors()
+        if errors:
+            log.error("chip stall attribution lost cycles:\n%s",
+                      "\n".join(errors[:5]))
+            return 1
+        _print_chip_rollup(cc)
     if not chip.dram_partitioned:
         per_ch_bw = chip.dram_bytes_per_cycle / chip.dram_channels
         per_channel = ", ".join(
@@ -411,6 +522,11 @@ def _cmd_chip(args: argparse.Namespace) -> int:
         args,
         executor,
         experiments=[{"id": f"chip-{args.benchmark}", "seconds": dt}],
+        chip_summary=(
+            {"channels": cc.channel_summary(), "dispatcher": cc.dispatcher_summary()}
+            if cc is not None
+            else None
+        ),
     )
     return 0
 
@@ -450,11 +566,31 @@ def _instrumented_run(args: argparse.Namespace, window: int, want_trace: bool,
     return result, col
 
 
+def _instrumented_chip_run(args: argparse.Namespace, window: int,
+                           want_trace: bool,
+                           max_trace_events: int = 1_000_000):
+    """Simulate one benchmark at chip scope with a ChipCollector attached."""
+    from repro.experiments.runner import Runner
+    from repro.obs import ChipCollector
+
+    rn = Runner(args.scale)
+    partition = _resolve_partition(rn, args)
+    chip = _chip_config(rn, args)
+    cc = ChipCollector.for_chip(chip, metrics_window=window, trace=want_trace,
+                                max_trace_events=max_trace_events)
+    cr = rn.simulate_chip(args.benchmark, partition, chip=chip,
+                          regs=args.regs, thread_target=args.threads,
+                          chip_collector=cc)
+    return cr, cc
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.experiments.report import format_table
     from repro.obs import STALL_CAUSES, write_trace
 
     window = args.window if args.metrics_out else 0
+    if _chip_mode(args):
+        return _cmd_profile_chip(args, window)
     result, col = _instrumented_run(args, window, bool(args.trace_out))
     print(result.summary())
     report = col.report()
@@ -491,12 +627,64 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile_chip(args: argparse.Namespace, window: int) -> int:
+    from repro.experiments.report import format_table
+    from repro.obs import STALL_CAUSES, write_trace
+
+    cr, cc = _instrumented_chip_run(args, window, bool(args.trace_out))
+    print(cr.summary())
+    totals = cc.stall_totals()
+    warp_cycles = cc.warps * (cc.total_cycles or 1.0)
+    rows = [["issue", float(cc.issue_cycles),
+             100.0 * cc.issue_cycles / warp_cycles]]
+    rows += [
+        [cause, totals[cause], 100.0 * totals[cause] / warp_cycles]
+        for cause in STALL_CAUSES
+    ]
+    print(
+        format_table(
+            ["cause", "warp-cycles", "% of warp-cycles"],
+            rows,
+            title=f"Chip stall attribution: {args.benchmark} ({args.design}), "
+                  f"{cc.num_sms} SMs, {cc.warps} warps x {cr.cycles:.0f} cycles",
+        )
+    )
+    for i, col in enumerate(cc.collectors):
+        print(f"  sm{i}: {len(col.warps)} warps, "
+              f"top stall {_top_stall(col.stall_totals())}")
+    errors = cc.conservation_errors()
+    if errors:
+        log.error("chip stall attribution lost cycles:\n%s",
+                  "\n".join(errors[:5]))
+        return 1
+    log.info("conservation: sum_sm(issue + stalls) == %d warps x %.0f "
+             "cycles exactly", cc.warps, cc.total_cycles)
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            json.dumps(cc.chipmetrics_payload(), indent=2, sort_keys=True)
+        )
+        log.info("wrote chip interval metrics to %s", args.metrics_out)
+    if args.trace_out:
+        write_trace(cc.trace_payload(), args.trace_out)
+        log.info("wrote merged chip trace to %s", args.trace_out)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import validate_trace, write_trace
 
-    result, col = _instrumented_run(args, 0, True,
-                                    max_trace_events=args.max_events)
-    payload = col.trace_payload()
+    if _chip_mode(args):
+        cr, cc = _instrumented_chip_run(args, 0, True,
+                                        max_trace_events=args.max_events)
+        payload = cc.trace_payload()
+        cycles = cr.cycles
+        scope = f" ({cc.num_sms} SMs, {cc.num_channels} DRAM channels)"
+    else:
+        result, col = _instrumented_run(args, 0, True,
+                                        max_trace_events=args.max_events)
+        payload = col.trace_payload()
+        cycles = result.cycles
+        scope = ""
     errors = validate_trace(payload)
     if errors:
         log.error("invalid trace payload:\n%s", "\n".join(errors[:5]))
@@ -504,7 +692,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     out = args.out or f"{args.benchmark}.trace.json"
     write_trace(payload, out)
     dropped = payload["otherData"]["droppedEvents"]
-    print(f"{args.benchmark}: {result.cycles:.0f} cycles, "
+    print(f"{args.benchmark}{scope}: {cycles:.0f} cycles, "
           f"{len(payload['traceEvents'])} trace events -> {out}"
           + (f" ({dropped} dropped; raise --max-events)" if dropped else ""))
     print("open in https://ui.perfetto.dev or chrome://tracing "

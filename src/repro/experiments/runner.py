@@ -433,6 +433,7 @@ class Runner:
         chip: ChipConfig | None = None,
         regs: int | None = None,
         thread_target: int | None = None,
+        chip_collector=None,
         **params,
     ) -> ChipResult:
         """Run one kernel launch across a whole chip (memoised + cached).
@@ -442,15 +443,22 @@ class Runner:
         reproduces :meth:`simulate` bit for bit).  Chip artifacts persist
         in the disk cache as JSON meta entries and ship through the
         journal like single-SM results.
+
+        ``chip_collector`` (a :class:`~repro.obs.chip.ChipCollector`)
+        forces a live run -- a memoised result would leave the collector
+        with nothing observed -- but the result is still stored, which
+        neutrality makes safe: instrumented and uninstrumented runs are
+        bit-identical.
         """
         cfg = chip or ChipConfig(sm=self.config)
         key = self.chip_sim_key(
             name, partition, cfg, regs=regs, thread_target=thread_target, **params
         )
-        if key in self._chips:
+        instrumented = chip_collector is not None and chip_collector.enabled
+        if not instrumented and key in self._chips:
             return self._chips[key]
         result = None
-        if self.cache is not None:
+        if not instrumented and self.cache is not None:
             payload = self.cache.get_meta(self._chip_disk_key(key))
             if payload is not None:
                 try:
@@ -463,6 +471,7 @@ class Runner:
                 partition,
                 cfg,
                 thread_target=thread_target,
+                chip_collector=chip_collector,
             )
             if self.cache is not None:
                 self.cache.put_meta(

@@ -56,6 +56,11 @@ class DRAMChannel:
         self.free_at = 0.0
         self.accesses = 0
         self.bytes_transferred = 0
+        #: Cycles the bus spent transferring data.  Requests reserve the
+        #: bus back to back, so this equals ``bytes_transferred /
+        #: bytes_per_cycle`` -- the ground truth the observer-window
+        #: conservation tests check the hook against.
+        self.busy_cycles = 0.0
         self._last_request_time = 0.0
 
     def request(self, now: float, nbytes: int) -> float:
@@ -79,6 +84,7 @@ class DRAMChannel:
         self.free_at = start + service
         self.accesses += 1
         self.bytes_transferred += nbytes
+        self.busy_cycles += service
         if self.observer is not None:
             self.observer(start, self.free_at, nbytes)
         return start + self.latency + service
@@ -173,6 +179,12 @@ class DRAMSystem:
             each serves ``bytes_per_cycle / channels``.
         latency: Access latency in cycles (Table 2: 400).
         transaction_bytes: Sector size of uncached accesses.
+        channel_observer: Optional
+            ``channel_observer(channel, busy_start, busy_end, nbytes)``
+            called once per served request -- the per-channel variant of
+            :attr:`DRAMChannel.observer`, carrying which channel the
+            arbiter placed the transfer on.  Chip-scope observability
+            rides this hook for per-channel utilisation time series.
     """
 
     def __init__(
@@ -181,6 +193,7 @@ class DRAMSystem:
         channels: int = 8,
         latency: int = 400,
         transaction_bytes: int = 32,
+        channel_observer=None,
     ) -> None:
         if bytes_per_cycle <= 0:
             raise ValueError("bytes_per_cycle must be positive")
@@ -195,9 +208,11 @@ class DRAMSystem:
         self.channel_bytes_per_cycle = bytes_per_cycle / channels
         self.latency = latency
         self.transaction_bytes = transaction_bytes
+        self.channel_observer = channel_observer
         self.channel_free_at = [0.0] * channels
         self.channel_accesses = [0] * channels
         self.channel_bytes = [0] * channels
+        self.channel_busy = [0.0] * channels
 
     def port(self, source: int, observer=None) -> DRAMPort:
         """A per-SM handle with its own traffic accounting."""
@@ -212,6 +227,9 @@ class DRAMSystem:
         free[c] = end
         self.channel_accesses[c] += 1
         self.channel_bytes[c] += nbytes
+        self.channel_busy[c] += end - start
+        if self.channel_observer is not None:
+            self.channel_observer(c, start, end, nbytes)
         return start, end
 
     @property

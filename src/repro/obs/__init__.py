@@ -15,6 +15,10 @@ model:
 * :class:`~repro.obs.trace.TraceBuffer` records warp/CTA events in
   Chrome trace-event JSON, so a run opens directly in Perfetto or
   ``chrome://tracing``.
+* :class:`~repro.obs.chip.ChipCollector` lifts all of the above to chip
+  scope: per-SM collectors merged into one Perfetto timeline, DRAM
+  channels and the CTA dispatcher sampled as first-class tracks, and
+  the conservation invariant rolled up across SMs.
 * :mod:`repro.obs.manifest` builds run manifests (config fingerprint,
   format versions, cache statistics, per-phase wall-clock) for the
   experiment layer.
@@ -37,8 +41,20 @@ from repro.obs.collector import (
     Collector,
     NullCollector,
 )
+from repro.obs.chip import (
+    CHIP_PROFILE_SCHEMA,
+    CHIPMETRICS_SCHEMA,
+    ChipCollector,
+    validate_chipmetrics,
+)
 from repro.obs.metrics import METRICS_SCHEMA, IntervalSampler
-from repro.obs.trace import TRACE_SCHEMA, TraceBuffer, validate_trace, write_trace
+from repro.obs.trace import (
+    TRACE_CHIP_SCHEMA,
+    TRACE_SCHEMA,
+    TraceBuffer,
+    validate_trace,
+    write_trace,
+)
 
 __all__ = [
     "CAUSE_BANK_CONFLICT",
@@ -48,14 +64,19 @@ __all__ = [
     "CAUSE_MEMORY",
     "CAUSE_NOT_RESIDENT",
     "CAUSE_RAW",
+    "CHIP_PROFILE_SCHEMA",
+    "CHIPMETRICS_SCHEMA",
     "METRICS_SCHEMA",
     "NULL_COLLECTOR",
     "STALL_CAUSES",
+    "TRACE_CHIP_SCHEMA",
     "TRACE_SCHEMA",
+    "ChipCollector",
     "Collector",
     "IntervalSampler",
     "NullCollector",
     "TraceBuffer",
+    "validate_chipmetrics",
     "validate_trace",
     "write_trace",
 ]

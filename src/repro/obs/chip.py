@@ -1,0 +1,503 @@
+"""Chip-scope observability: merged timelines, chip metrics, CTA lifetimes.
+
+The per-SM :class:`~repro.obs.collector.Collector` sees one SM at a
+time, but the phenomena a chip run exists to expose -- DRAM-channel
+contention between SMs, dispatcher imbalance, whole-chip IPC dips --
+only show up *across* components.  :class:`ChipCollector` owns one
+per-SM collector per SM plus instrumentation for the two shared seams:
+
+* a per-channel DRAM window sampler riding the
+  ``observer(busy_start, busy_end, nbytes)`` hook (for shared DRAM via
+  :attr:`~repro.memory.dram.DRAMSystem.channel_observer`, which adds
+  the channel index; for partitioned DRAM each SM's private channel is
+  channel ``i``), and
+* a :class:`~repro.chip.dispatch.CTADispatcher` tap recording every
+  CTA's dispatch -> retire lifetime, the dispatch queue depth, and
+  per-SM resident-CTA occupancy over time.
+
+Three exports come out of one instrumented run:
+
+* :meth:`ChipCollector.trace_payload` -- one merged Chrome-trace /
+  Perfetto timeline (schema :data:`~repro.obs.trace.TRACE_CHIP_SCHEMA`,
+  ``repro.obs.trace/2``): a process per SM with its warp tracks, a
+  "DRAM channels" process with one bus-busy track per channel, and a
+  "CTA dispatcher" process with a CTA-Gantt track per SM.  The bounded
+  buffer of the single-SM tracer is preserved chip-wide: the event
+  budget is split into one share per SM plus one share for the chip
+  tracks, so the merged payload never exceeds ``max_trace_events``.
+* :meth:`ChipCollector.chipmetrics_payload` -- chip interval metrics
+  (schema :data:`CHIPMETRICS_SCHEMA`, ``repro.obs.chipmetrics/1``):
+  aggregate and per-SM IPC, per-channel utilisation and bytes,
+  resident-CTA occupancy, and dispatch queue depth per window.
+* :meth:`ChipCollector.report` -- the chip-wide stall-attribution
+  roll-up, extending the single-SM conservation invariant to the chip:
+  ``sum_sm(issue + stalls) == sum_sm(warps) x chip_cycles`` with exact
+  (dyadic-rational / ``fsum``) equality, verified by
+  :meth:`ChipCollector.conservation_errors`.
+
+Like the single-SM collector, everything here only *observes* event
+times the simulator already computed -- attaching a ``ChipCollector``
+never changes a cycle count (asserted by the chip neutrality test).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.collector import STALL_CAUSES, Collector
+from repro.obs.metrics import IntervalSampler
+from repro.obs.trace import PID_WARPS, TRACE_CHIP_SCHEMA, TraceBuffer
+
+CHIPMETRICS_SCHEMA = "repro.obs.chipmetrics/1"
+CHIP_PROFILE_SCHEMA = "repro.obs.chip_profile/1"
+
+
+class ChipCollector:
+    """Chip-wide observability sink for :func:`repro.chip.simulate_chip`.
+
+    Args:
+        num_sms: SMs on the instrumented chip (one per-SM
+            :class:`~repro.obs.collector.Collector` is created).
+        num_channels: DRAM channels to track.  Shared DRAM: the
+            system's channel count; partitioned DRAM: ``num_sms``
+            (channel ``i`` is SM ``i``'s private slice).
+        metrics_window: Cycle width of interval samples; 0 disables the
+            chip metrics time series (and the per-SM ones).
+        trace: Record the merged Chrome-trace timeline.
+        max_trace_events: Chip-wide bound on buffered trace events,
+            split into ``num_sms + 1`` equal shares.
+        dram_partitioned: Recorded in payloads so a reader knows what
+            the channels mean.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        num_sms: int,
+        num_channels: int,
+        *,
+        metrics_window: int = 0,
+        trace: bool = False,
+        max_trace_events: int = 1_000_000,
+        dram_partitioned: bool = False,
+    ) -> None:
+        if num_sms < 1:
+            raise ValueError("num_sms must be >= 1")
+        if num_channels < 1:
+            raise ValueError("num_channels must be >= 1")
+        self.num_sms = num_sms
+        self.num_channels = num_channels
+        self.metrics_window = metrics_window
+        self.dram_partitioned = dram_partitioned
+        self.total_cycles: float | None = None
+        #: Merged-trace process ids: pids 0..num_sms-1 are the SMs.
+        self.pid_channels = num_sms
+        self.pid_dispatcher = num_sms + 1
+        share = max(1, max_trace_events // (num_sms + 1))
+        self.collectors = [
+            Collector(
+                metrics_window=metrics_window,
+                trace=trace,
+                max_trace_events=share,
+            )
+            for _ in range(num_sms)
+        ]
+        self._trace = TraceBuffer(share) if trace else None
+        if self._trace is not None:
+            self._trace.process_name(self.pid_channels, "DRAM channels")
+            for c in range(num_channels):
+                self._trace.thread_name(self.pid_channels, c, f"ch{c}")
+            self._trace.process_name(self.pid_dispatcher, "CTA dispatcher")
+            for i in range(num_sms):
+                self._trace.thread_name(self.pid_dispatcher, i, f"SM {i}")
+        # -- per-channel window sampling + whole-run totals
+        self._channel_samplers = (
+            [IntervalSampler(metrics_window) for _ in range(num_channels)]
+            if metrics_window
+            else None
+        )
+        self.channel_bytes = [0] * num_channels
+        self.channel_busy = [0.0] * num_channels
+        self.channel_accesses = [0] * num_channels
+        # -- dispatcher tap
+        #: cta index -> {"sm", "dispatch", "retire"} (retire None while live).
+        self.cta_lifetimes: dict[int, dict] = {}
+        self._grid_size: int | None = None
+        self._dispatch_times: list[float] = []
+        self._cta_events: list[list[tuple[float, int]]] = [[] for _ in range(num_sms)]
+        self._cta_samplers: list[IntervalSampler] | None = None
+        self._queue_sampler: IntervalSampler | None = None
+
+    # -- simulator hooks --------------------------------------------------
+    def dram_channel_transfer(
+        self, channel: int, start: float, end: float, nbytes: int
+    ) -> None:
+        """Observer for one DRAM channel's bus-busy interval.
+
+        Shared DRAM wires this as
+        :attr:`~repro.memory.dram.DRAMSystem.channel_observer`;
+        partitioned DRAM calls it with ``channel == sm_index`` alongside
+        the per-SM collector's own hook.
+        """
+        self.channel_bytes[channel] += nbytes
+        self.channel_busy[channel] += end - start
+        self.channel_accesses[channel] += 1
+        if self._channel_samplers is not None:
+            self._channel_samplers[channel].add_dram_transfer(start, end, nbytes)
+        if self._trace is not None:
+            self._trace.slice(
+                self.pid_channels, channel, f"{nbytes}B", "dram", start, end - start
+            )
+
+    def cta_dispatch(
+        self, cta_index: int, sm_index: int, time: float, remaining: int
+    ) -> None:
+        """The dispatcher handed ``cta_index`` to SM ``sm_index``.
+
+        In this model dispatch and launch coincide (the scheduler pulls
+        a CTA exactly when a residency slot frees); ``remaining`` is the
+        grid's undispatched count after this hand-out.
+        """
+        if self._grid_size is None:
+            self._grid_size = remaining + 1
+        self.cta_lifetimes[cta_index] = {
+            "sm": sm_index,
+            "dispatch": time,
+            "retire": None,
+        }
+        self._dispatch_times.append(time)
+        self._cta_events[sm_index].append((time, 1))
+
+    def cta_retire(self, cta_index: int, sm_index: int, time: float) -> None:
+        """SM ``sm_index`` retired ``cta_index``; closes its Gantt slice."""
+        self._cta_events[sm_index].append((time, -1))
+        rec = self.cta_lifetimes.get(cta_index)
+        if rec is None:
+            return
+        rec["retire"] = time
+        if self._trace is not None:
+            self._trace.slice(
+                self.pid_dispatcher,
+                sm_index,
+                f"cta{cta_index}",
+                "cta",
+                rec["dispatch"],
+                time - rec["dispatch"],
+            )
+
+    def finish(self, total_cycles: float) -> None:
+        """Close every timeline at the chip makespan.
+
+        Per-SM collectors are usually finished by ``simulate_chip``
+        already (each at the same chip makespan); any that were not are
+        finished here, never twice.
+        """
+        self.total_cycles = total_cycles
+        for col in self.collectors:
+            if col.total_cycles is None:
+                col.finish(total_cycles)
+        if not self.metrics_window:
+            return
+        # Dispatch/retire events arrive out of time order (a barrier
+        # release retires a CTA at a future cycle while earlier events
+        # are still being popped), so integrate once, sorted, at the end
+        # -- the same strategy as the per-SM occupancy integral.
+        self._cta_samplers = []
+        for events in self._cta_events:
+            sampler = IntervalSampler(self.metrics_window)
+            occ, last_t = 0, 0.0
+            for time, delta in sorted(events):
+                sampler.add_occupancy(last_t, min(time, total_cycles), occ)
+                occ += delta
+                last_t = time
+            sampler.add_occupancy(last_t, total_cycles, occ)
+            self._cta_samplers.append(sampler)
+        # Queue depth is monotone by construction: the grid starts full
+        # and each dispatch removes one CTA at its dispatch time.
+        self._queue_sampler = IntervalSampler(self.metrics_window)
+        depth = self._grid_size or 0
+        last_t = 0.0
+        for time in sorted(self._dispatch_times):
+            self._queue_sampler.add_occupancy(last_t, min(time, total_cycles), depth)
+            depth -= 1
+            last_t = time
+        self._queue_sampler.add_occupancy(last_t, total_cycles, depth)
+
+    # -- stall-attribution roll-up ----------------------------------------
+    @property
+    def warps(self) -> int:
+        """Warp instances observed chip-wide."""
+        return sum(len(col.warps) for col in self.collectors)
+
+    @property
+    def issue_cycles(self) -> int:
+        return sum(col.issue_cycles for col in self.collectors)
+
+    @property
+    def ctas_launched(self) -> int:
+        return sum(col.ctas_launched for col in self.collectors)
+
+    def stall_totals(self) -> dict[str, float]:
+        """Attributed cycles per cause, summed over every SM's warps."""
+        totals = dict.fromkeys(STALL_CAUSES, 0.0)
+        for col in self.collectors:
+            for cause, cycles in col.stall_totals().items():
+                totals[cause] += cycles
+        return totals
+
+    def conservation_errors(self) -> list[str]:
+        """Violations of the chip conservation invariant (empty = ok).
+
+        Checks every SM's per-warp identity, then the chip roll-up:
+        ``sum_sm(issue + stalls) == sum_sm(warps) x chip_cycles``.  All
+        quantities are dyadic-rational cycle stamps summed with
+        ``fsum``, so both sides are exact and compared with ``==``.
+        """
+        if self.total_cycles is None:
+            return ["finish() was never called"]
+        errors = []
+        for i, col in enumerate(self.collectors):
+            errors.extend(f"sm{i}: {e}" for e in col.conservation_errors())
+        attributed = math.fsum(
+            [float(self.issue_cycles)]
+            + [
+                math.fsum(ws.stalls.values())
+                for col in self.collectors
+                for ws in col.warps.values()
+            ]
+        )
+        expected = self.warps * self.total_cycles
+        if attributed != expected:
+            errors.append(
+                f"chip: attributed {attributed} != {expected} "
+                f"== {self.warps} warps x {self.total_cycles} cycles"
+            )
+        return errors
+
+    # -- dispatcher / channel summaries -----------------------------------
+    def dispatcher_summary(self) -> dict:
+        """CTA-lifetime and assignment statistics (run-manifest shape)."""
+        lifetimes = [
+            rec["retire"] - rec["dispatch"]
+            for rec in self.cta_lifetimes.values()
+            if rec["retire"] is not None
+        ]
+        ctas_per_sm = [0] * self.num_sms
+        for rec in self.cta_lifetimes.values():
+            ctas_per_sm[rec["sm"]] += 1
+        return {
+            "ctas_dispatched": len(self.cta_lifetimes),
+            "ctas_retired": len(lifetimes),
+            "ctas_per_sm": ctas_per_sm,
+            "mean_lifetime_cycles": (
+                math.fsum(lifetimes) / len(lifetimes) if lifetimes else 0.0
+            ),
+            "max_lifetime_cycles": max(lifetimes, default=0.0),
+        }
+
+    def channel_summary(self) -> dict:
+        """Per-channel traffic and utilisation (run-manifest shape)."""
+        total = self.total_cycles
+        return {
+            "partitioned": self.dram_partitioned,
+            "bytes": list(self.channel_bytes),
+            "busy_cycles": list(self.channel_busy),
+            "accesses": list(self.channel_accesses),
+            "utilisation": [
+                min(busy / total, 1.0) if total else 0.0
+                for busy in self.channel_busy
+            ],
+        }
+
+    def report(self) -> dict:
+        """JSON-compatible chip profile (the chip ``profile`` payload)."""
+        return {
+            "schema": CHIP_PROFILE_SCHEMA,
+            "num_sms": self.num_sms,
+            "total_cycles": self.total_cycles,
+            "warps": self.warps,
+            "ctas": self.ctas_launched,
+            "issue_cycles": self.issue_cycles,
+            "stall_cycles": self.stall_totals(),
+            "per_sm": [col.report() for col in self.collectors],
+            "channels": self.channel_summary(),
+            "dispatcher": self.dispatcher_summary(),
+            "conservation_ok": not self.conservation_errors(),
+        }
+
+    # -- chip interval metrics --------------------------------------------
+    def chipmetrics_payload(self) -> dict | None:
+        """The ``repro.obs.chipmetrics/1`` time series, or None.
+
+        Requires ``metrics_window`` and a finished run.  Every array
+        field is positional: ``per_sm_*`` lists have ``num_sms``
+        entries, ``channel_*`` lists ``num_channels``.
+        """
+        if not self.metrics_window or self.total_cycles is None:
+            return None
+        total = self.total_cycles
+        per_sm = [col.sampler.samples(total) for col in self.collectors]
+        channels = [s.samples(total) for s in self._channel_samplers]
+        ctas = [s.samples(total) for s in self._cta_samplers]
+        queue = self._queue_sampler.samples(total)
+        samples = []
+        for j, q in enumerate(queue):
+            span = q["end"] - q["start"]
+            instructions = sum(p[j]["instructions"] for p in per_sm)
+            samples.append(
+                {
+                    "index": j,
+                    "start": q["start"],
+                    "end": q["end"],
+                    "instructions": instructions,
+                    "ipc": instructions / span if span else 0.0,
+                    "per_sm_ipc": [p[j]["ipc"] for p in per_sm],
+                    "resident_ctas": math.fsum(c[j]["occupancy"] for c in ctas),
+                    "per_sm_resident_ctas": [c[j]["occupancy"] for c in ctas],
+                    "queue_depth": q["occupancy"],
+                    "channel_utilisation": [
+                        c[j]["dram_utilisation"] for c in channels
+                    ],
+                    "channel_bytes": [c[j]["dram_bytes"] for c in channels],
+                    "dram_bytes": math.fsum(c[j]["dram_bytes"] for c in channels),
+                }
+            )
+        return {
+            "schema": CHIPMETRICS_SCHEMA,
+            "window": self.metrics_window,
+            "total_cycles": total,
+            "num_sms": self.num_sms,
+            "dram_channels": self.num_channels,
+            "dram_partitioned": self.dram_partitioned,
+            "samples": samples,
+        }
+
+    # -- merged trace ------------------------------------------------------
+    def trace_payload(self) -> dict | None:
+        """The merged ``repro.obs.trace/2`` timeline, or None.
+
+        Per-SM warp events are remapped to process ``i`` (their SM); the
+        single-SM collectors' private CTA and DRAM tracks are dropped in
+        favour of the chip-level dispatcher-Gantt and channel tracks,
+        which carry the same information with chip-wide identity.
+        """
+        if self._trace is None:
+            return None
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": i,
+                "tid": 0,
+                "args": {"name": f"SM {i} warps"},
+            }
+            for i in range(self.num_sms)
+        ]
+        dropped = self._trace.dropped
+        for i, col in enumerate(self.collectors):
+            buf = col.trace
+            dropped += buf.dropped
+            for ev in buf.events:
+                if ev["pid"] != PID_WARPS:
+                    continue
+                if ev["ph"] == "M" and ev["name"] == "process_name":
+                    continue
+                remapped = dict(ev)
+                remapped["pid"] = i
+                events.append(remapped)
+        events.extend(self._trace.events)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "schema": TRACE_CHIP_SCHEMA,
+                "clock": "1 simulated cycle = 1 us of trace time",
+                "droppedEvents": dropped,
+                "num_sms": self.num_sms,
+                "dram_channels": self.num_channels,
+                "dram_partitioned": self.dram_partitioned,
+            },
+        }
+
+    # -- construction helpers ----------------------------------------------
+    @classmethod
+    def for_chip(
+        cls,
+        chip,
+        *,
+        metrics_window: int = 0,
+        trace: bool = False,
+        max_trace_events: int = 1_000_000,
+    ) -> "ChipCollector":
+        """A collector shaped for one :class:`~repro.chip.ChipConfig`.
+
+        Partitioned DRAM has one private channel per SM, so the channel
+        axis is ``num_sms``; shared DRAM uses the system's channel
+        count.
+        """
+        channels = chip.num_sms if chip.dram_partitioned else chip.dram_channels
+        return cls(
+            chip.num_sms,
+            channels,
+            metrics_window=metrics_window,
+            trace=trace,
+            max_trace_events=max_trace_events,
+            dram_partitioned=chip.dram_partitioned,
+        )
+
+
+def validate_chipmetrics(payload: dict) -> list[str]:
+    """Structural checks for a ``repro.obs.chipmetrics/1`` payload.
+
+    Returns a list of problems (empty = valid).  Used by the test suite
+    and by CI's chip-smoke job to validate emitted artifacts.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload must be a JSON object"]
+    if payload.get("schema") != CHIPMETRICS_SCHEMA:
+        problems.append(f"schema must be {CHIPMETRICS_SCHEMA!r}")
+    num_sms = payload.get("num_sms")
+    channels = payload.get("dram_channels")
+    if not isinstance(num_sms, int) or num_sms < 1:
+        problems.append("num_sms must be a positive integer")
+    if not isinstance(channels, int) or channels < 1:
+        problems.append("dram_channels must be a positive integer")
+    window = payload.get("window")
+    if not isinstance(window, int) or window <= 0:
+        problems.append("window must be a positive cycle count")
+    samples = payload.get("samples")
+    if not isinstance(samples, list):
+        return problems + ["samples must be a JSON array"]
+    per_sm_fields = ("per_sm_ipc", "per_sm_resident_ctas")
+    channel_fields = ("channel_utilisation", "channel_bytes")
+    scalar_fields = (
+        "index", "start", "end", "instructions", "ipc",
+        "resident_ctas", "queue_depth", "dram_bytes",
+    )
+    for j, s in enumerate(samples):
+        if not isinstance(s, dict):
+            problems.append(f"sample {j}: not an object")
+            continue
+        for key in scalar_fields:
+            if not isinstance(s.get(key), (int, float)):
+                problems.append(f"sample {j}: missing numeric {key}")
+        for key, n in (
+            *((f, num_sms) for f in per_sm_fields),
+            *((f, channels) for f in channel_fields),
+        ):
+            value = s.get(key)
+            if not isinstance(value, list) or (
+                isinstance(n, int) and len(value) != n
+            ):
+                problems.append(f"sample {j}: {key} must be a list of length {n}")
+        for u in s.get("channel_utilisation") or []:
+            if not isinstance(u, (int, float)) or not 0.0 <= u <= 1.0:
+                problems.append(f"sample {j}: channel utilisation {u!r} out of range")
+                break
+        if len(problems) >= 20:
+            problems.append("... (further problems suppressed)")
+            break
+    return problems

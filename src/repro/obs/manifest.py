@@ -45,6 +45,7 @@ def build_run_manifest(
     jobs: int = 1,
     experiments: list[dict] | None = None,
     executor=None,
+    chip: dict | None = None,
 ) -> dict:
     """Assemble the provenance record of one CLI run.
 
@@ -57,6 +58,10 @@ def build_run_manifest(
             ``{"id": ..., "seconds": ...}``.
         executor: Optional :class:`~repro.experiments.executor.Executor`
             whose phase reports and cache statistics to embed.
+        chip: Optional chip-scope observability summary (the
+            ``channels`` / ``dispatcher`` dicts of
+            :meth:`repro.obs.chip.ChipCollector.report`), recorded when
+            an instrumented chip run wrote this manifest.
     """
     from repro.experiments.runner import config_fingerprint
 
@@ -76,6 +81,8 @@ def build_run_manifest(
         "sm_config_digest": sm_config_digest(config),
         "experiments": experiments or [],
     }
+    if chip is not None:
+        manifest["chip"] = chip
     if executor is not None:
         manifest["phases"] = [
             {

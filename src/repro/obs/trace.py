@@ -27,6 +27,12 @@ from pathlib import Path
 
 TRACE_SCHEMA = "repro.obs.trace/1"
 
+#: Schema of the merged chip-scope timeline emitted by
+#: :meth:`repro.obs.chip.ChipCollector.trace_payload`: one process per
+#: SM (warp tracks), one process of DRAM-channel bus-busy tracks, and a
+#: dispatcher process with a CTA-Gantt track per SM.
+TRACE_CHIP_SCHEMA = "repro.obs.trace/2"
+
 #: Perfetto process ids used by the collector's track layout.
 PID_WARPS = 0
 PID_CTAS = 1

@@ -1,0 +1,102 @@
+"""Hook-level conservation of DRAM observer windows.
+
+The observability layer's DRAM story rests on one contract: the
+``observer(busy_start, busy_end, nbytes)`` windows a channel reports
+partition its bus-busy time exactly -- summing them reproduces the
+channel's own ``busy_cycles`` and byte counters.  Checked directly on
+:class:`DRAMChannel` / :class:`DRAMSystem`, then end-to-end through
+``simulate_chip`` under both shared and partitioned DRAM.
+
+Bandwidths here are powers of two, so every ``nbytes / bytes_per_cycle``
+service time is a dyadic rational and the sums are exact -- equality,
+not tolerance (the same discipline as the cycle-conservation tests).
+"""
+
+import math
+
+import pytest
+
+from repro.chip import ChipConfig, simulate_chip
+from repro.compiler import compile_kernel
+from repro.core import partitioned_baseline
+from repro.kernels import get_benchmark
+from repro.memory.dram import DRAMChannel, DRAMSystem
+from repro.obs import ChipCollector
+
+
+class TestChannelHook:
+    def test_windows_sum_to_busy_cycles_and_bytes(self):
+        windows = []
+        ch = DRAMChannel(bytes_per_cycle=8.0, latency=400,
+                         observer=lambda s, e, b: windows.append((s, e, b)))
+        for now, nbytes in ((0.0, 128), (1.0, 32), (500.0, 64), (500.0, 32)):
+            ch.request(now, nbytes)
+        assert len(windows) == ch.accesses == 4
+        assert math.fsum(e - s for s, e, _ in windows) == ch.busy_cycles
+        assert sum(b for _, _, b in windows) == ch.bytes_transferred
+        # Back-to-back reservation means busy time is exactly the byte
+        # count over the bandwidth.
+        assert ch.busy_cycles == ch.bytes_transferred / ch.bytes_per_cycle
+
+    def test_windows_never_overlap(self):
+        windows = []
+        ch = DRAMChannel(bytes_per_cycle=8.0,
+                         observer=lambda s, e, b: windows.append((s, e)))
+        for now in (0.0, 0.0, 0.0, 100.0):
+            ch.request(now, 64)
+        for (s0, e0), (s1, e1) in zip(windows, windows[1:]):
+            assert e0 <= s1
+
+
+class TestSystemHook:
+    def test_per_channel_windows_match_arbiter_accounting(self):
+        seen = {}
+        system = DRAMSystem(
+            bytes_per_cycle=64.0,
+            channels=4,
+            channel_observer=lambda c, s, e, b: seen.setdefault(c, []).append(
+                (s, e, b)
+            ),
+        )
+        ports = [system.port(i) for i in range(2)]
+        for i in range(16):
+            ports[i % 2].request(float(i), 32)
+        assert sorted(seen) == list(range(4))
+        for c, windows in seen.items():
+            assert math.fsum(e - s for s, e, _ in windows) == system.channel_busy[c]
+            assert sum(b for _, _, b in windows) == system.channel_bytes[c]
+            assert len(windows) == system.channel_accesses[c]
+        assert sum(system.channel_bytes) == system.bytes_transferred
+
+    def test_hook_optional(self):
+        system = DRAMSystem(bytes_per_cycle=64.0, channels=2)
+        system.port(0).request(0.0, 32)
+        # 64 B/cycle striped over 2 channels serves 32 bytes in 1 cycle.
+        assert system.channel_busy[0] == 1.0
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        return compile_kernel(get_benchmark("vectoradd").build("tiny"))
+
+    @pytest.mark.parametrize("partitioned", (False, True), ids=("shared", "partitioned"))
+    def test_collector_windows_conserve_through_chip(self, kernel, partitioned):
+        cfg = ChipConfig(num_sms=2, dram_partitioned=partitioned)
+        cc = ChipCollector.for_chip(cfg)
+        cr = simulate_chip(kernel, partitioned_baseline(), cfg, chip_collector=cc)
+        assert sum(cc.channel_bytes) == sum(r.dram_bytes for r in cr.per_sm)
+        assert sum(cc.channel_accesses) == sum(r.dram_accesses for r in cr.per_sm)
+        if partitioned:
+            # Each private slice reserves back to back: busy time is
+            # exactly bytes over the per-SM bandwidth slice.
+            for c in range(2):
+                assert cc.channel_busy[c] == (
+                    cc.channel_bytes[c] / cfg.sm_bandwidth_slice
+                )
+        else:
+            # Shared channels stripe the total bandwidth; busy cycles
+            # follow from the bytes each channel served.
+            per_ch = cfg.dram_bytes_per_cycle / cfg.dram_channels
+            for c in range(cfg.dram_channels):
+                assert cc.channel_busy[c] == cc.channel_bytes[c] / per_ch

@@ -77,6 +77,53 @@ class TestChip:
         assert payload["config"]["num_sms"] == 2
         assert len(list((cache / "manifests").glob("run-*.json"))) == 1
 
+    def test_metrics_out_identical_across_jobs(self, capsys, tmp_path):
+        texts = []
+        for jobs in ("1", "4"):
+            metrics = tmp_path / f"chip-j{jobs}.json"
+            assert main(
+                ["chip", "vectoradd", "--scale", "tiny", "--sms", "2",
+                 "--design", "baseline", "--jobs", jobs,
+                 "--metrics-out", str(metrics), "-q"]
+            ) == 0
+            capsys.readouterr()
+            texts.append(metrics.read_bytes())
+        assert texts[0] == texts[1]
+
+    def test_profile_flag_adds_top_stall_and_rollup(self, capsys):
+        assert main(
+            ["chip", "matrixmul", "--scale", "tiny", "--sms", "2",
+             "--design", "baseline", "--profile", "-q"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "top stall" in out
+        assert "chip stall roll-up" in out
+        assert "issue " in out
+
+    def test_without_profile_no_stall_column(self, capsys):
+        assert main(
+            ["chip", "matrixmul", "--scale", "tiny", "--sms", "2",
+             "--design", "baseline", "-q"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "top stall" not in out
+
+    def test_profile_manifest_records_chip_stats(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(
+            ["chip", "vectoradd", "--scale", "tiny", "--sms", "2",
+             "--design", "baseline", "--profile",
+             "--cache-dir", str(cache), "-q"]
+        ) == 0
+        capsys.readouterr()
+        manifest = json.loads(
+            next((cache / "manifests").glob("run-*.json")).read_text()
+        )
+        chip = manifest["chip"]
+        assert len(chip["channels"]["bytes"]) == 8
+        assert chip["dispatcher"]["ctas_dispatched"] > 0
+        assert len(chip["dispatcher"]["ctas_per_sm"]) == 2
+
 
 class TestExperiment:
     def test_table4(self, capsys):
@@ -182,6 +229,80 @@ class TestProfileAndTrace:
         payload = json.loads(out_path.read_text())
         assert len(payload["traceEvents"]) == 100
         assert payload["otherData"]["droppedEvents"] > 0
+
+
+class TestChipScopeProfileAndTrace:
+    @pytest.mark.parametrize("command", ("profile", "trace"))
+    @pytest.mark.parametrize(
+        "flags",
+        (["--total-bw", "128"], ["--channels", "4"], ["--partitioned-dram"]),
+        ids=("total-bw", "channels", "partitioned-dram"),
+    )
+    def test_chip_only_flags_require_sms(self, capsys, command, flags):
+        with pytest.raises(SystemExit) as exc:
+            main([command, "vectoradd", "--scale", "tiny",
+                  "--design", "baseline", *flags])
+        assert exc.value.code == 2
+        assert "--sms" in capsys.readouterr().err
+
+    def test_chip_profile_prints_rollup_and_per_sm(self, capsys):
+        assert main(
+            ["profile", "matrixmul", "--scale", "tiny", "--design", "baseline",
+             "--sms", "2"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Chip stall attribution" in captured.out
+        assert "sm0:" in captured.out
+        assert "sm1:" in captured.out
+        assert "sum_sm(issue + stalls)" in captured.err
+
+    def test_chip_profile_writes_chipmetrics_and_trace(self, capsys, tmp_path):
+        metrics = tmp_path / "cm.json"
+        trace = tmp_path / "ct.json"
+        assert main(
+            ["profile", "vectoradd", "--scale", "tiny", "--design", "baseline",
+             "--sms", "2", "--window", "500",
+             "--metrics-out", str(metrics), "--trace-out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        from repro.obs import validate_chipmetrics, validate_trace
+
+        payload = json.loads(metrics.read_text())
+        assert payload["schema"] == "repro.obs.chipmetrics/1"
+        assert payload["num_sms"] == 2
+        assert validate_chipmetrics(payload) == []
+        assert validate_trace(json.loads(trace.read_text())) == []
+
+    def test_chip_trace_covers_all_tracks(self, capsys, tmp_path):
+        out_path = tmp_path / "chip.trace.json"
+        assert main(
+            ["trace", "matrixmul", "--scale", "tiny", "--design", "baseline",
+             "--sms", "2", "--out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 SMs" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["otherData"]["schema"] == "repro.obs.trace/2"
+        events = payload["traceEvents"]
+        # SM warp tracks, both DRAM-channel and dispatcher processes.
+        assert {e["pid"] for e in events if e.get("cat") == "issue"} == {0, 1}
+        assert any(e["pid"] == 2 and e["ph"] == "X" for e in events)  # channels
+        assert any(
+            e["pid"] == 3 and e["ph"] == "X" and e["name"].startswith("cta")
+            for e in events
+        )
+
+    def test_chip_trace_partitioned_dram(self, capsys, tmp_path):
+        out_path = tmp_path / "part.trace.json"
+        assert main(
+            ["trace", "vectoradd", "--scale", "tiny", "--design", "baseline",
+             "--sms", "2", "--partitioned-dram", "--out", str(out_path)]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        dram = [e for e in payload["traceEvents"]
+                if e["pid"] == 2 and e["ph"] == "X"]
+        assert {e["tid"] for e in dram} == {0, 1}
 
 
 class TestVerbosity:
