@@ -167,6 +167,22 @@ def bench_simulate(scale: str, repeats: int) -> list[BenchEntry]:
             return {"cycles": r.cycles, "instructions": r.instructions}
 
         entries.append(timed(f"sim.{name}.unified384", run_uni, repeats))
+
+    # One non-blocking point: the MSHR + banked-DRAM hot-loop arm has its
+    # own cost profile (per-segment MSHR lookups, row decode), so time it
+    # separately from the blocking baseline it must not slow down.
+    from dataclasses import replace
+
+    nb_cfg = replace(
+        rn.config, mshr_entries=16, dram_banks=8, dram_row_hit_latency=160
+    )
+    ck = rn.compiled("matrixmul")
+
+    def run_nonblocking(ck=ck):
+        r = simulate(ck, baseline, nb_cfg)
+        return {"cycles": r.cycles, "instructions": r.instructions}
+
+    entries.append(timed("sim.matrixmul.nonblocking", run_nonblocking, repeats))
     return entries
 
 

@@ -38,7 +38,12 @@ class ChipConfig:
             ``dram_bytes_per_cycle / num_sms`` channel -- the paper's
             fixed-slice methodology; ``False`` (default) arbitrates the
             shared channels FCFS between SMs.
-        sm: Per-SM timing parameters (latencies, cache geometry).
+        sm: Per-SM timing parameters (latencies, cache geometry).  The
+            memory-system knobs ride here too: ``sm.mshr_entries``
+            enables non-blocking miss handling per SM, and
+            ``sm.dram_banks`` / ``sm.dram_row_bytes`` /
+            ``sm.dram_row_hit_latency`` give the shared system (or each
+            private slice) banked open-page row-buffer timing.
     """
 
     num_sms: int = 32

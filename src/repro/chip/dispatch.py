@@ -34,8 +34,19 @@ class CTADispatcher:
         """CTAs of the grid not yet handed to any SM."""
         return self.num_ctas - self._next
 
+    def _check_sm_index(self, sm_index: int) -> None:
+        # A negative index would silently append to the wrong SM's
+        # assignment list via Python's wraparound indexing.
+        if not 0 <= sm_index < len(self.assignments):
+            raise ValueError(
+                f"sm_index {sm_index} out of range for a "
+                f"{len(self.assignments)}-SM dispatcher (expected 0 <= "
+                f"sm_index < {len(self.assignments)})"
+            )
+
     def next_cta(self, sm_index: int) -> int | None:
         """The next CTA for ``sm_index``, or None when the grid is drained."""
+        self._check_sm_index(sm_index)
         if self._next >= self.num_ctas:
             return None
         index = self._next
@@ -54,6 +65,7 @@ class DispatchPort:
     __slots__ = ("dispatcher", "sm_index")
 
     def __init__(self, dispatcher: CTADispatcher, sm_index: int) -> None:
+        dispatcher._check_sm_index(sm_index)
         self.dispatcher = dispatcher
         self.sm_index = sm_index
 

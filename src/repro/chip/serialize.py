@@ -26,7 +26,11 @@ from repro.sm.serialize import (
 
 #: Bump whenever the ChipResult schema changes; cached chip artifacts
 #: written under another version are stale and regenerated.
-CHIP_RESULT_FORMAT_VERSION = 1
+#:
+#: v2: the embedded SM config grew the non-blocking memory-system
+#: fields (``mshr_entries``, ``dram_banks``, ``dram_row_bytes``,
+#: ``dram_row_hit_latency``), so v1 artifacts no longer round-trip.
+CHIP_RESULT_FORMAT_VERSION = 2
 
 
 def chip_config_to_dict(chip: ChipConfig) -> dict:

@@ -94,6 +94,7 @@ class _SMCore:
         "banks",
         "cache",
         "dram",
+        "mshr",
         "obs",
         "issued_until",
         "mem_port_free",
@@ -116,12 +117,14 @@ class _SMCore:
         "live_ctas",
     )
 
-    def __init__(self, index, scheduler, banks, cache, dram, obs) -> None:
+    def __init__(self, index, scheduler, banks, cache, dram, obs, mshr=None) -> None:
         self.index = index
         self.scheduler = scheduler
         self.banks = banks
         self.cache = cache
         self.dram = dram
+        #: Per-SM MSHR file; None = legacy blocking miss model.
+        self.mshr = mshr
         self.obs = obs
         self.issued_until = 0.0
         self.mem_port_free = 0.0
@@ -243,6 +246,9 @@ def simulate_chip(
             channel_observer=(
                 chip_obs.dram_channel_transfer if chip_obs is not None else None
             ),
+            banks=sm_cfg.dram_banks,
+            row_bytes=sm_cfg.dram_row_bytes,
+            row_hit_latency=sm_cfg.dram_row_hit_latency,
         )
 
     cores: list[_SMCore] = []
@@ -259,6 +265,9 @@ def simulate_chip(
                 latency=sm_cfg.dram_latency,
                 transaction_bytes=sm_cfg.dram_transaction_bytes,
                 observer=hook,
+                banks=sm_cfg.dram_banks,
+                row_bytes=sm_cfg.dram_row_bytes,
+                row_hit_latency=sm_cfg.dram_row_hit_latency,
             )
         cores.append(
             _SMCore(
@@ -271,8 +280,12 @@ def simulate_chip(
                     partition.cache_bytes,
                     assoc=sm_cfg.cache_assoc,
                     line_bytes=sm_cfg.cache_line_bytes,
+                    # Unified-allocator remainders round down explicitly
+                    # (slack stays visible on cache.slack_bytes).
+                    misaligned="floor",
                 ),
                 dram=dram,
+                mshr=sm_cfg.make_mshr_file(),
                 obs=obs,
             )
         )
@@ -393,6 +406,7 @@ def simulate_chip(
         else:
             issue_done = t + 1
             wb_cause = CAUSE_RAW
+            mshr_wait = 0.0
             if kind <= K_SHARED_STORE:
                 penalty, bucket, rows, arb = core.banks.planned_shared(
                     pl, op.addrs, w.cta.shared_base
@@ -426,7 +440,37 @@ def simulate_chip(
                     if cache_enabled:
                         core.cache_row_reads += rows
                         cache_read = cache.read_line
-                        if obs is None:
+                        mshr = core.mshr
+                        if mshr is not None:
+                            # Non-blocking miss handling; mirrors the
+                            # single-SM loop (see repro.sm.simulator).
+                            cur = data_ready
+                            for seg in pl.segments:
+                                hit = cache_read(seg)
+                                if obs is not None:
+                                    obs.cache_access(cur, hit)
+                                fill = mshr.outstanding(seg, cur)
+                                if fill is not None:
+                                    mshr.secondary_merges += 1
+                                    wb_cause = CAUSE_MEMORY
+                                    done = fill
+                                elif hit:
+                                    done = cur + hit_latency
+                                else:
+                                    free = mshr.entry_free_at(cur)
+                                    if free > cur:
+                                        mshr.full_stalls += 1
+                                        mshr.full_stall_cycles += free - cur
+                                        mshr_wait += free - cur
+                                        cur = free
+                                    done = dram_request(cur, line_bytes, seg)
+                                    mshr.allocate(seg, done, cur)
+                                    wb_cause = CAUSE_MEMORY
+                                if done > completion:
+                                    completion = done
+                            if cur > core.mem_port_free:
+                                core.mem_port_free = cur
+                        elif obs is None:
                             for seg in pl.segments:
                                 if cache_read(seg):
                                     done = data_ready + hit_latency
@@ -469,8 +513,12 @@ def simulate_chip(
                         pls = pl.per_line_sectors
                         if pls is None:
                             pls = pl.sector_info(op.addrs, line_bytes)[1]
-                        for nsect in pls:
-                            dram_request(data_ready, nsect * txn_bytes)
+                        if core.mshr is not None:
+                            for seg, nsect in zip(pl.segments, pls):
+                                dram_request(data_ready, nsect * txn_bytes, seg)
+                        else:
+                            for nsect in pls:
+                                dram_request(data_ready, nsect * txn_bytes)
                     else:
                         ns = pl.n_sectors
                         if ns < 0:
@@ -496,11 +544,12 @@ def simulate_chip(
             if op.dst is not None:
                 if kind <= K_TEX:
                     cause = CAUSE_MEMORY if kind == K_TEX else CAUSE_RAW
-                    wb_conflict = 0.0
+                    obs.writeback(w.wid, op.dst, completion, cause, 0.0)
                 else:
-                    cause = wb_cause
                     wb_conflict = (port_start - issue_done) + penalty
-                obs.writeback(w.wid, op.dst, completion, cause, wb_conflict)
+                    obs.writeback(
+                        w.wid, op.dst, completion, wb_cause, wb_conflict, mshr_wait
+                    )
 
         pc += 1
         w.pc = pc
@@ -575,6 +624,14 @@ def simulate_chip(
         if core.obs is not None:
             core.obs.finish(chip_cycles)
             stall_cycles = core.obs.stall_totals()
+        sm_notes: dict = {}
+        if core.mshr is not None:
+            memsys = {"mshr": core.mshr.stats()}
+            if getattr(core.dram, "row_hits", None) is not None:
+                # Partitioned mode: the private channel's row counters.
+                memsys["dram_row_hits"] = core.dram.row_hits
+                memsys["dram_row_misses"] = core.dram.row_misses
+            sm_notes["memsys"] = memsys
         per_sm.append(
             SimResult(
                 kernel=kernel.name,
@@ -592,11 +649,29 @@ def simulate_chip(
                 energy_counts=counts,
                 limiting_resource=core.scheduler.limits.limiting_resource,
                 stall_cycles=stall_cycles,
+                notes=sm_notes,
             )
         )
 
     if chip_obs is not None:
         chip_obs.finish(chip_cycles)
+
+    chip_notes: dict = {}
+    if sm_cfg.non_blocking:
+        memsys = {
+            "mshr_entries": sm_cfg.mshr_entries,
+            "primary_misses": sum(c.mshr.primary_misses for c in cores),
+            "secondary_merges": sum(c.mshr.secondary_merges for c in cores),
+            "full_stalls": sum(c.mshr.full_stalls for c in cores),
+            "full_stall_cycles": sum(c.mshr.full_stall_cycles for c in cores),
+        }
+        if system is not None:
+            memsys["dram_row_hits"] = system.row_hits
+            memsys["dram_row_misses"] = system.row_misses
+        else:
+            memsys["dram_row_hits"] = sum(c.dram.row_hits for c in cores)
+            memsys["dram_row_misses"] = sum(c.dram.row_misses for c in cores)
+        chip_notes["memsys"] = memsys
 
     return ChipResult(
         kernel=kernel.name,
@@ -606,4 +681,5 @@ def simulate_chip(
         per_sm=per_sm,
         ctas_per_sm=[len(a) for a in dispatcher.assignments],
         dram_channel_bytes=list(system.channel_bytes) if system is not None else [],
+        notes=chip_notes,
     )

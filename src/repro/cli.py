@@ -94,6 +94,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _add_executor_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                    help="worker processes for independent simulations "
@@ -107,6 +114,22 @@ def _add_executor_flags(p: argparse.ArgumentParser) -> None:
                         "(identical for any --jobs value)")
 
 
+def _sm_config(args: argparse.Namespace):
+    """The SMConfig an invocation's memory-system flags denote.
+
+    Commands without the flag group (``experiment``, ``suite``, ...)
+    fall through to the Table 2 defaults, i.e. the blocking model.
+    """
+    from repro.sm.config import SMConfig
+
+    return SMConfig(
+        mshr_entries=getattr(args, "mshr_entries", 0),
+        dram_banks=getattr(args, "dram_banks", 1),
+        dram_row_bytes=getattr(args, "dram_row_bytes", 2048),
+        dram_row_hit_latency=getattr(args, "dram_row_hit_latency", None),
+    )
+
+
 def _make_executor(args: argparse.Namespace):
     from repro.experiments.artifacts import DiskCache
     from repro.experiments.executor import Executor
@@ -117,7 +140,7 @@ def _make_executor(args: argparse.Namespace):
     except OSError as e:
         log.error("cannot use cache dir %r: %s", args.cache_dir, e)
         raise SystemExit(2) from e
-    runner = Runner(args.scale, cache=cache)
+    runner = Runner(args.scale, _sm_config(args), cache=cache)
     return Executor(runner, jobs=args.jobs, progress=args.jobs > 1)
 
 
@@ -191,8 +214,31 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--regs", type=int, default=None,
                        help="registers/thread (default: no-spill budget)")
 
+    def _add_memsys_flags(p: argparse.ArgumentParser) -> None:
+        """Non-blocking memory-system knobs shared by run/chip/profile."""
+        g = p.add_argument_group("memory system")
+        g.add_argument("--mshr-entries", type=_nonnegative_int, default=0,
+                       metavar="N",
+                       help="per-SM MSHR entries: >0 enables non-blocking "
+                            "misses with secondary-miss merging (default 0 "
+                            "= legacy blocking model)")
+        g.add_argument("--dram-banks", type=_positive_int, default=1,
+                       metavar="N",
+                       help="DRAM banks per channel for open-page "
+                            "row-buffer timing (default 1 = flat FCFS)")
+        g.add_argument("--dram-row-bytes", type=_positive_int, default=2048,
+                       metavar="BYTES",
+                       help="row-buffer (DRAM page) size per bank "
+                            "(default 2048)")
+        g.add_argument("--dram-row-hit-latency", type=_nonnegative_int,
+                       default=None, metavar="CYCLES",
+                       help="latency of a request hitting a bank's open "
+                            "row (default: the full DRAM latency, i.e. "
+                            "row buffers never help)")
+
     run = sub.add_parser("run", help="simulate one benchmark", parents=[common])
     _add_design_flags(run)
+    _add_memsys_flags(run)
     run.add_argument("--show-layout", action="store_true",
                      help="render the design's bank layout (paper Figs 5-6)")
     run.add_argument("--chip", action="store_true",
@@ -230,6 +276,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="simulate N SMs sharing arbitrated DRAM")
     _add_design_flags(ch)
     _add_chip_flags(ch, default_sms=32)
+    _add_memsys_flags(ch)
     ch.add_argument("--profile", action="store_true",
                     help="attach chip-scope collectors: per-SM top stall "
                          "cause in the table plus the chip roll-up")
@@ -239,6 +286,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="stall-cycle attribution for one benchmark")
     _add_design_flags(prof)
     _add_chip_flags(prof)
+    _add_memsys_flags(prof)
     prof.add_argument("--window", type=_positive_int, default=1000, metavar="CYCLES",
                       help="interval-metrics window width (default 1000)")
     prof.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -259,7 +307,7 @@ def _build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="regenerate a table/figure",
                          parents=[common])
     exp.add_argument("id", help="table1, figure2..figure11, table4..table6, "
-                                "gating, ablation-cluster-port, "
+                                "gating, memsys, ablation-cluster-port, "
                                 "ablation-no-hierarchy")
     exp.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
     exp.add_argument("--plot", action="store_true",
@@ -343,7 +391,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.energy import EnergyModel
     from repro.experiments.runner import Runner
 
-    rn = Runner(args.scale)
+    rn = Runner(args.scale, _sm_config(args))
     base = rn.baseline(args.benchmark, regs=args.regs)
     if args.design == "baseline":
         result = base
@@ -359,6 +407,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         print(bank_layout(result.partition))
     print(result.summary())
+    memsys = result.notes.get("memsys")
+    if memsys:
+        m = memsys["mshr"]
+        line = (f"memsys: {m['entries']} MSHRs, {m['primary_misses']} primary "
+                f"misses, {m['secondary_merges']} merged, {m['full_stalls']} "
+                f"full-stalls ({m['full_stall_cycles']:.0f} cycles)")
+        if "dram_row_hits" in memsys:
+            total = memsys["dram_row_hits"] + memsys["dram_row_misses"]
+            if total:
+                line += (f", row hits {memsys['dram_row_hits']}/{total} "
+                         f"({100.0 * memsys['dram_row_hits'] / total:.0f}%)")
+        print(line)
     if args.chip:
         from repro.energy.chip import ChipModel
 
@@ -504,10 +564,23 @@ def _cmd_chip(args: argparse.Namespace) -> int:
     if not chip.dram_partitioned:
         per_ch_bw = chip.dram_bytes_per_cycle / chip.dram_channels
         per_channel = ", ".join(
-            f"ch{i} {channel_utilisation(b, per_ch_bw, cr.cycles):.1%}"
+            # channel_utilisation reports the true (possibly >1.0)
+            # ratio; clamp only here, at presentation.
+            f"ch{i} {min(1.0, channel_utilisation(b, per_ch_bw, cr.cycles)):.1%}"
             for i, b in enumerate(cr.dram_channel_bytes)
         )
         print(f"channel utilisation: {per_channel}")
+    memsys = cr.notes.get("memsys")
+    if memsys:
+        line = (f"memsys: {memsys['mshr_entries']} MSHRs/SM, "
+                f"{memsys['primary_misses']} primary misses, "
+                f"{memsys['secondary_merges']} merged, "
+                f"{memsys['full_stalls']} full-stalls")
+        total = memsys["dram_row_hits"] + memsys["dram_row_misses"]
+        if total:
+            line += (f", row hits {memsys['dram_row_hits']}/{total} "
+                     f"({100.0 * memsys['dram_row_hits'] / total:.0f}%)")
+        print(line)
     # Measured pricing: per-SM counters, not the analytic NxSM scale-up.
     summary = ChipModel(num_sms=chip.num_sms).evaluate_chip(cr)
     print("energy (measured per-SM): " + summary.summary())
@@ -556,7 +629,7 @@ def _instrumented_run(args: argparse.Namespace, window: int, want_trace: bool,
     from repro.obs import Collector
     from repro.sm.simulator import simulate
 
-    rn = Runner(args.scale)
+    rn = Runner(args.scale, _sm_config(args))
     partition = _resolve_partition(rn, args)
     ck = rn.compiled(args.benchmark, regs=args.regs)
     col = Collector(metrics_window=window, trace=want_trace,
@@ -573,7 +646,7 @@ def _instrumented_chip_run(args: argparse.Namespace, window: int,
     from repro.experiments.runner import Runner
     from repro.obs import ChipCollector
 
-    rn = Runner(args.scale)
+    rn = Runner(args.scale, _sm_config(args))
     partition = _resolve_partition(rn, args)
     chip = _chip_config(rn, args)
     cc = ChipCollector.for_chip(chip, metrics_window=window, trace=want_trace,
@@ -717,6 +790,7 @@ def _experiment_registry(scale: str) -> dict:
         figure10,
         figure11,
         gating,
+        memsys,
         table1,
         table4,
         table5,
@@ -745,6 +819,7 @@ def _experiment_registry(scale: str) -> dict:
         "table6": table6.run,
         "figure11": figure11.run,
         "gating": gating.run,
+        "memsys": memsys.run,
         "ablation-cluster-port": ablations.run_cluster_port,
         "ablation-no-hierarchy": ablations.run_no_hierarchy,
         "irregular": _irregular,

@@ -11,7 +11,13 @@ both the partitioned baseline and the unified design share:
 * :mod:`repro.memory.dram` -- a single SM's share of DRAM (8 bytes/cycle
   of bandwidth, 400 cycles latency, access counting -- the paper's DRAM
   traffic metric) plus the chip-level shared ``DRAMSystem`` whose
-  channels arbitrate requests from multiple SMs FCFS.
+  channels arbitrate requests from multiple SMs FCFS.  Both optionally
+  model banked open-page row-buffer timing (row hits pay a reduced
+  latency).
+* :mod:`repro.memory.mshr` -- the MSHR file that makes cache misses
+  non-blocking (``SMConfig.mshr_entries > 0``): primary misses allocate
+  entries, secondary misses merge into in-flight fills, a full file
+  stalls the LSU.
 * :mod:`repro.memory.sharedmem` -- per-CTA scratchpad allocation.
 * :mod:`repro.memory.banks` -- the bank-conflict models: per-structure
   banks for the partitioned design, merged banks with arbitration
@@ -29,6 +35,7 @@ from repro.memory.banks import (
 from repro.memory.cache import CacheStats, DataCache
 from repro.memory.coalescer import coalesce_lines, coalesce_sectors
 from repro.memory.dram import DRAMChannel, DRAMPort, DRAMSystem
+from repro.memory.mshr import MSHRFile
 from repro.memory.sharedmem import SharedMemoryFile
 
 __all__ = [
@@ -40,6 +47,7 @@ __all__ = [
     "DRAMPort",
     "DRAMSystem",
     "DataCache",
+    "MSHRFile",
     "PartitionedBanks",
     "SharedMemoryFile",
     "UnifiedBanks",

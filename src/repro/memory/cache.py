@@ -6,10 +6,13 @@ no-write-allocate** -- the unified design depends on the write-through
 policy because repartitioning then never has dirty data to flush
 (Section 4.4), and evictions never cost a bank access (Section 4.3).
 
-Capacity is arbitrary (the unified allocator can produce any remainder);
-the number of sets is ``capacity // (line * assoc)`` and may be zero, in
+The number of sets is ``capacity // (line * assoc)`` and may be zero, in
 which case every access misses -- this models the "0 KB cache" column of
-Table 1.
+Table 1.  A capacity that is not a whole number of sets is rejected by
+default so no allocated bytes are silently unmodeled; the unified
+allocator (which can produce any remainder) opts into the explicit
+``misaligned="floor"`` rounding and the dropped bytes are recorded in
+``slack_bytes``.
 """
 
 from __future__ import annotations
@@ -65,22 +68,47 @@ class CacheStats:
 
 
 class DataCache:
-    """4-way write-through, no-write-allocate, LRU data cache."""
+    """4-way write-through, no-write-allocate, LRU data cache.
+
+    Args:
+        capacity_bytes: Modeled capacity.  Must be a whole number of
+            sets (``line_bytes * assoc``) unless ``misaligned="floor"``.
+        misaligned: What to do when ``capacity_bytes`` is not a whole
+            number of sets.  ``"error"`` (default) raises, so callers
+            cannot silently model less cache than they allocated;
+            ``"floor"`` rounds down to whole sets and records the
+            dropped remainder in :attr:`slack_bytes` -- the unified
+            allocator's remainders take this path deliberately.
+    """
 
     def __init__(
         self,
         capacity_bytes: int,
         assoc: int = 4,
         line_bytes: int = 128,
+        misaligned: str = "error",
     ) -> None:
         if capacity_bytes < 0:
             raise ValueError("capacity must be non-negative")
         if assoc <= 0 or line_bytes <= 0:
             raise ValueError("assoc and line_bytes must be positive")
+        if misaligned not in ("error", "floor"):
+            raise ValueError(f"misaligned must be 'error' or 'floor', got {misaligned!r}")
         self.capacity_bytes = capacity_bytes
         self.assoc = assoc
         self.line_bytes = line_bytes
-        self.num_sets = capacity_bytes // (line_bytes * assoc)
+        set_bytes = line_bytes * assoc
+        #: Allocated bytes the set decomposition cannot model (always 0
+        #: unless the caller passed ``misaligned="floor"``).
+        self.slack_bytes = capacity_bytes % set_bytes
+        if self.slack_bytes and misaligned != "floor":
+            raise ValueError(
+                f"cache capacity {capacity_bytes} B is not a whole number of "
+                f"sets ({assoc} ways x {line_bytes} B = {set_bytes} B/set): "
+                f"{self.slack_bytes} B would be silently unmodeled; pass "
+                "misaligned='floor' to round down explicitly"
+            )
+        self.num_sets = capacity_bytes // set_bytes
         # One LRU-ordered dict of tags per set; OrderedDict front = LRU.
         self._sets: list[OrderedDict[int, None]] = [
             OrderedDict() for _ in range(self.num_sets)

@@ -25,9 +25,38 @@ the metric behind Table 1 columns 10-12, where streaming benchmarks show
 ~4x more accesses with no cache because each warp load becomes four
 sector transactions instead of one line fill.  Total bytes are tracked
 separately for the 40 pJ/bit energy model.
+
+Both models optionally layer *open-page row-buffer timing* on top of the
+flat 400-cycle latency: a channel is split into ``banks`` banks, each
+with one open row of ``row_bytes`` bytes, and a request that lands in a
+bank's open row pays ``row_hit_latency`` instead of the full activate +
+precharge ``latency``.  Requests carry an optional address for the
+bank/row decode; address-less requests (legacy callers) always pay the
+full latency.  The flat model is the ``banks=1, row_hit_latency ==
+latency`` degenerate case and the default, so existing configurations
+are cycle-identical.
 """
 
 from __future__ import annotations
+
+
+def _row_buffer_state(
+    banks: int, row_bytes: int, row_hit_latency: int | None, latency: int
+) -> tuple[int, bool]:
+    """Validate row-buffer parameters; returns (hit_latency, banked?)."""
+    if banks < 1:
+        raise ValueError("banks must be >= 1")
+    if row_bytes <= 0:
+        raise ValueError("row_bytes must be positive")
+    hit = latency if row_hit_latency is None else row_hit_latency
+    if hit < 0 or hit > latency:
+        raise ValueError(
+            f"row_hit_latency must be within [0, latency={latency}], got {hit}"
+        )
+    # Flat FCFS is the degenerate case: one bank whose "row hit" costs
+    # the same as a miss needs no row tracking at all.
+    banked = banks > 1 or hit != latency
+    return hit, banked
 
 
 class DRAMChannel:
@@ -39,6 +68,9 @@ class DRAMChannel:
         latency: int = 400,
         transaction_bytes: int = 32,
         observer=None,
+        banks: int = 1,
+        row_bytes: int = 2048,
+        row_hit_latency: int | None = None,
     ) -> None:
         if bytes_per_cycle <= 0:
             raise ValueError("bytes_per_cycle must be positive")
@@ -49,6 +81,15 @@ class DRAMChannel:
         self.bytes_per_cycle = bytes_per_cycle
         self.latency = latency
         self.transaction_bytes = transaction_bytes
+        self.banks = banks
+        self.row_bytes = row_bytes
+        self.row_hit_latency, self._banked = _row_buffer_state(
+            banks, row_bytes, row_hit_latency, latency
+        )
+        #: Open row per bank (None = closed); only consulted when banked.
+        self._open_rows: list[int | None] = [None] * banks
+        self.row_hits = 0
+        self.row_misses = 0
         #: Optional ``observer(busy_start, busy_end, nbytes)`` called per
         #: request with the channel's bus-busy interval -- the hook the
         #: observability layer uses for per-window DRAM utilisation.
@@ -63,12 +104,14 @@ class DRAMChannel:
         self.busy_cycles = 0.0
         self._last_request_time = 0.0
 
-    def request(self, now: float, nbytes: int) -> float:
+    def request(self, now: float, nbytes: int, addr: int | None = None) -> float:
         """Issue a transfer of ``nbytes`` at time ``now``.
 
         Returns the cycle at which the data is available to the SM
         (reads) -- stores may ignore the return value but still consume
-        bandwidth.
+        bandwidth.  ``addr`` (a byte address) feeds the bank/row decode
+        when row-buffer timing is enabled; without it the request pays
+        the full row-miss latency.
         """
         if now < self._last_request_time:
             raise ValueError(
@@ -79,6 +122,9 @@ class DRAMChannel:
         if nbytes <= 0:
             raise ValueError(f"DRAM request size must be positive, got {nbytes}")
         self._last_request_time = now
+        latency = self.latency
+        if self._banked:
+            latency = self._access_latency(addr)
         start = max(now, self.free_at)
         service = nbytes / self.bytes_per_cycle
         self.free_at = start + service
@@ -87,7 +133,22 @@ class DRAMChannel:
         self.busy_cycles += service
         if self.observer is not None:
             self.observer(start, self.free_at, nbytes)
-        return start + self.latency + service
+        return start + latency + service
+
+    def _access_latency(self, addr: int | None) -> int:
+        """Row-buffer decode: hit latency or full latency, updating state."""
+        if addr is None:
+            self.row_misses += 1
+            return self.latency
+        chunk = addr // self.row_bytes
+        bank = chunk % self.banks
+        row = chunk // self.banks
+        if self._open_rows[bank] == row:
+            self.row_hits += 1
+            return self.row_hit_latency
+        self._open_rows[bank] = row
+        self.row_misses += 1
+        return self.latency
 
     @property
     def bits_transferred(self) -> int:
@@ -134,7 +195,7 @@ class DRAMPort:
         self.free_at = 0.0
         self._last_request_time = 0.0
 
-    def request(self, now: float, nbytes: int) -> float:
+    def request(self, now: float, nbytes: int, addr: int | None = None) -> float:
         """Issue a transfer of ``nbytes`` at time ``now`` (see DRAMChannel)."""
         if now < self._last_request_time:
             raise ValueError(
@@ -145,14 +206,14 @@ class DRAMPort:
         if nbytes <= 0:
             raise ValueError(f"DRAM request size must be positive, got {nbytes}")
         self._last_request_time = now
-        start, end = self.system._serve(now, nbytes)
+        start, end, latency = self.system._serve(now, nbytes, addr)
         self.accesses += 1
         self.bytes_transferred += nbytes
         if end > self.free_at:
             self.free_at = end
         if self.observer is not None:
             self.observer(start, end, nbytes)
-        return end + self.system.latency
+        return end + latency
 
     @property
     def bits_transferred(self) -> int:
@@ -185,6 +246,12 @@ class DRAMSystem:
             :attr:`DRAMChannel.observer`, carrying which channel the
             arbiter placed the transfer on.  Chip-scope observability
             rides this hook for per-channel utilisation time series.
+        banks / row_bytes / row_hit_latency: Per-channel open-page
+            row-buffer timing, as on :class:`DRAMChannel`.  Requests
+            that carry an address are routed to a fixed channel by the
+            row-interleaved address decode (instead of the min-free
+            balancer) so bank state is meaningful; address-less requests
+            keep the legacy balancing and pay full latency.
     """
 
     def __init__(
@@ -194,6 +261,9 @@ class DRAMSystem:
         latency: int = 400,
         transaction_bytes: int = 32,
         channel_observer=None,
+        banks: int = 1,
+        row_bytes: int = 2048,
+        row_hit_latency: int | None = None,
     ) -> None:
         if bytes_per_cycle <= 0:
             raise ValueError("bytes_per_cycle must be positive")
@@ -213,15 +283,47 @@ class DRAMSystem:
         self.channel_accesses = [0] * channels
         self.channel_bytes = [0] * channels
         self.channel_busy = [0.0] * channels
+        self.banks = banks
+        self.row_bytes = row_bytes
+        self.row_hit_latency, self._banked = _row_buffer_state(
+            banks, row_bytes, row_hit_latency, latency
+        )
+        # Rows interleave across channels first, then banks within a
+        # channel: addr -> (channel, bank, row) via successive decode.
+        self._open_rows: list[list[int | None]] = [
+            [None] * banks for _ in range(channels)
+        ]
+        self.row_hits = 0
+        self.row_misses = 0
 
     def port(self, source: int, observer=None) -> DRAMPort:
         """A per-SM handle with its own traffic accounting."""
         return DRAMPort(self, source, observer)
 
-    def _serve(self, now: float, nbytes: int) -> tuple[float, float]:
-        """Reserve bus time for one request; returns (start, end)."""
+    def _serve(
+        self, now: float, nbytes: int, addr: int | None = None
+    ) -> tuple[float, float, int]:
+        """Reserve bus time for one request; returns (start, end, latency)."""
         free = self.channel_free_at
-        c = min(range(self.num_channels), key=free.__getitem__)
+        latency = self.latency
+        if addr is None:
+            c = min(range(self.num_channels), key=free.__getitem__)
+            if self._banked:
+                self.row_misses += 1
+        else:
+            chunk = addr // self.row_bytes
+            c = chunk % self.num_channels
+            if self._banked:
+                chunk //= self.num_channels
+                bank = chunk % self.banks
+                row = chunk // self.banks
+                rows = self._open_rows[c]
+                if rows[bank] == row:
+                    self.row_hits += 1
+                    latency = self.row_hit_latency
+                else:
+                    rows[bank] = row
+                    self.row_misses += 1
         start = now if now > free[c] else free[c]
         end = start + nbytes / self.channel_bytes_per_cycle
         free[c] = end
@@ -230,7 +332,7 @@ class DRAMSystem:
         self.channel_busy[c] += end - start
         if self.channel_observer is not None:
             self.channel_observer(c, start, end, nbytes)
-        return start, end
+        return start, end, latency
 
     @property
     def accesses(self) -> int:
@@ -266,7 +368,12 @@ def channel_utilisation(
     Standalone so a stored :class:`~repro.sm.result.SimResult` (which
     keeps ``dram_bytes`` and ``cycles`` but not the channel object) can
     be graded after the fact.
+
+    Returns the *true* ratio, which exceeds 1.0 when the channel is
+    over-subscribed (more bandwidth-cycles demanded than ``total_cycles``
+    provides) -- an accounting signal callers must not lose.  Clamp at
+    the presentation layer, never here.
     """
     if total_cycles <= 0:
         return 0.0
-    return min(1.0, (bytes_transferred / bytes_per_cycle) / total_cycles)
+    return (bytes_transferred / bytes_per_cycle) / total_cycles

@@ -34,6 +34,7 @@ from repro.obs.collector import (
     CAUSE_DESCHEDULE,
     CAUSE_ISSUE_PORT,
     CAUSE_MEMORY,
+    CAUSE_MSHR_FULL,
     CAUSE_NOT_RESIDENT,
     CAUSE_RAW,
     NULL_COLLECTOR,
@@ -62,6 +63,7 @@ __all__ = [
     "CAUSE_DESCHEDULE",
     "CAUSE_ISSUE_PORT",
     "CAUSE_MEMORY",
+    "CAUSE_MSHR_FULL",
     "CAUSE_NOT_RESIDENT",
     "CAUSE_RAW",
     "CHIP_PROFILE_SCHEMA",

@@ -12,6 +12,11 @@ Every cycle of the run, for every warp, is charged to exactly one of:
                           through (memory-side)
 :data:`CAUSE_MEMORY`      waiting on DRAM: a cache miss, an uncached
                           access, or a texture fetch
+:data:`CAUSE_MSHR_FULL`   structural stall of the non-blocking memory
+                          system: the LSU could not allocate an MSHR
+                          entry for a primary miss until an outstanding
+                          fill retired (non-zero only when
+                          ``mshr_entries > 0``)
 :data:`CAUSE_ISSUE_PORT`  operands ready, but another warp held the single
                           issue port
 :data:`CAUSE_BARRIER`     waiting at a CTA-wide barrier
@@ -29,7 +34,9 @@ test suite enforces it across kernels and partitions).  When a wait is
 caused by a producer whose latency included bank-conflict serialisation,
 the conflicted cycles are charged to :data:`CAUSE_BANK_CONFLICT` and
 only the remainder to the producer's class, so conflict cycles are never
-laundered as RAW or DRAM time.
+laundered as RAW or DRAM time.  Likewise, cycles a load spent waiting
+for a free MSHR entry are carved out of its wait and charged to
+:data:`CAUSE_MSHR_FULL`, never to :data:`CAUSE_MEMORY`.
 
 All times are the simulator's dyadic-rational cycle stamps, so the
 segment sums are exact in IEEE-754 -- conservation is checked with
@@ -47,6 +54,7 @@ from repro.obs.trace import PID_CTAS, PID_DRAM, PID_WARPS, TraceBuffer
 CAUSE_RAW = "raw"
 CAUSE_BANK_CONFLICT = "bank_conflict"
 CAUSE_MEMORY = "memory"
+CAUSE_MSHR_FULL = "mshr_full"
 CAUSE_ISSUE_PORT = "issue_port"
 CAUSE_BARRIER = "barrier"
 CAUSE_DESCHEDULE = "deschedule"
@@ -57,6 +65,7 @@ STALL_CAUSES = (
     CAUSE_RAW,
     CAUSE_BANK_CONFLICT,
     CAUSE_MEMORY,
+    CAUSE_MSHR_FULL,
     CAUSE_ISSUE_PORT,
     CAUSE_BARRIER,
     CAUSE_DESCHEDULE,
@@ -88,7 +97,8 @@ class _WarpObs:
     cursor: float = 0.0
     issue_cycles: int = 0
     stalls: dict = field(default_factory=dict)
-    #: reg -> (completion cycle, producer cause, conflict cycles inside it)
+    #: reg -> (completion cycle, producer cause, conflict cycles inside
+    #: it, mshr-full wait cycles inside it)
     pending: dict = field(default_factory=dict)
 
 
@@ -161,10 +171,22 @@ class Collector:
             ws.cursor = time
 
     def writeback(
-        self, wid: int, reg: int, completion: float, cause: str, conflict: float
+        self,
+        wid: int,
+        reg: int,
+        completion: float,
+        cause: str,
+        conflict: float,
+        mshr: float = 0.0,
     ) -> None:
-        """Register a pending write's completion time and its latency class."""
-        self.warps[wid].pending[reg] = (completion, cause, conflict)
+        """Register a pending write's completion time and its latency class.
+
+        ``mshr`` is the portion of the producer's latency spent waiting
+        for a free MSHR entry (non-blocking mode only); like
+        ``conflict`` it is carved out of a dependent's wait and charged
+        to its own cause.
+        """
+        self.warps[wid].pending[reg] = (completion, cause, conflict, mshr)
 
     def issue(
         self,
@@ -190,20 +212,28 @@ class Collector:
             dep_end = cursor
             cause = CAUSE_RAW
             conflict = 0.0
+            mshrw = 0.0
             pending = ws.pending
             if pending:
                 for r in srcs:
                     e = pending.get(r)
                     if e is not None and e[0] > dep_end:
-                        dep_end, cause, conflict = e
+                        dep_end, cause, conflict, mshrw = e
             if dep_end > ready:
                 dep_end = ready
             if dep_end > cursor:
+                # Carve the wait into conflict serialisation, MSHR
+                # allocation stalls, and the producer's own cause, in
+                # that order; each share is capped by what remains.
                 wait = dep_end - cursor
                 bank = conflict if conflict < wait else wait
+                rest = wait - bank
+                msh = mshrw if mshrw < rest else rest
                 if bank > 0.0:
                     self._charge(ws, CAUSE_BANK_CONFLICT, cursor, cursor + bank)
-                self._charge(ws, cause, cursor + bank, dep_end)
+                if msh > 0.0:
+                    self._charge(ws, CAUSE_MSHR_FULL, cursor + bank, cursor + bank + msh)
+                self._charge(ws, cause, cursor + bank + msh, dep_end)
                 cursor = dep_end
             if ready > cursor:
                 # Only the two-level scheduler's reactivation latency

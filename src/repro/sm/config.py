@@ -43,6 +43,36 @@ class SMConfig:
     #: Section 4.2 "simple design" (ablation; the default follows the
     #: paper's Section 6.1 per-bank conflict model).
     cluster_port_banks: bool = False
+    #: MSHR entries per SM.  0 (default) keeps the legacy *blocking*
+    #: miss model the golden fixtures pin; any positive count enables
+    #: the non-blocking memory system: secondary misses to an in-flight
+    #: line merge into the outstanding fill (no extra DRAM traffic), and
+    #: a full file stalls the LSU (the ``mshr_full`` stall cause).
+    mshr_entries: int = 0
+    #: DRAM banks per channel for open-page row-buffer timing.  The
+    #: default ``banks=1`` with ``row_hit_latency=None`` (== full
+    #: latency) is the flat-latency FCFS model, cycle-identical to the
+    #: legacy channel.
+    dram_banks: int = 1
+    #: Row-buffer (DRAM page) size per bank.
+    dram_row_bytes: int = 2048
+    #: Latency of a request hitting a bank's open row; ``None`` means
+    #: the full ``dram_latency`` (row buffers modeled but never faster,
+    #: i.e. disabled).
+    dram_row_hit_latency: int | None = None
+
+    @property
+    def non_blocking(self) -> bool:
+        """True when the MSHR-tracked non-blocking memory system is on."""
+        return self.mshr_entries > 0
+
+    def make_mshr_file(self):
+        """The SM's MSHR file, or ``None`` in the blocking model."""
+        if self.mshr_entries <= 0:
+            return None
+        from repro.memory.mshr import MSHRFile
+
+        return MSHRFile(self.mshr_entries)
 
     def make_dram_channel(self, observer=None):
         """The SM's default private DRAM port (its 1/32 chip slice).
@@ -61,6 +91,9 @@ class SMConfig:
             latency=self.dram_latency,
             transaction_bytes=self.dram_transaction_bytes,
             observer=observer,
+            banks=self.dram_banks,
+            row_bytes=self.dram_row_bytes,
+            row_hit_latency=self.dram_row_hit_latency,
         )
 
     def __post_init__(self) -> None:
@@ -78,3 +111,15 @@ class SMConfig:
             raise ValueError("dram_bytes_per_cycle must be positive")
         if self.max_threads <= 0 or self.max_threads % 32:
             raise ValueError("max_threads must be a positive multiple of 32")
+        if self.mshr_entries < 0:
+            raise ValueError("mshr_entries must be non-negative (0 = blocking)")
+        if self.dram_banks < 1:
+            raise ValueError("dram_banks must be >= 1")
+        if self.dram_row_bytes <= 0:
+            raise ValueError("dram_row_bytes must be positive")
+        if self.dram_row_hit_latency is not None and not (
+            0 <= self.dram_row_hit_latency <= self.dram_latency
+        ):
+            raise ValueError(
+                "dram_row_hit_latency must lie within [0, dram_latency]"
+            )

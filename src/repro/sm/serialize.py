@@ -26,6 +26,10 @@ from repro.sm.result import EnergyCounts, SimResult
 #: Bump whenever the SimResult schema changes; cached entries written
 #: under another version are treated as stale and regenerated.
 #: v2: added ``stall_cycles`` (observability layer).
+#: The non-blocking memory system (MSHRs + banked DRAM) did NOT bump
+#: this: its per-run statistics ride inside the pre-existing ``notes``
+#: dict (empty under the default blocking config), so the golden
+#: fixtures that pin ``"version": 2`` stay bit-identical.
 RESULT_FORMAT_VERSION = 2
 
 

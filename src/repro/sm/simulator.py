@@ -135,8 +135,13 @@ def simulate(
     obs = collector if collector is not None and collector.enabled else None
     scheduler = CTAScheduler(kernel, partition, thread_target, cta_source=cta_source)
     banks = make_bank_model(partition, cluster_port=cfg.cluster_port_banks)
+    # The unified allocator can leave any remainder as cache; model the
+    # whole sets and keep the dropped bytes visible in cache.slack_bytes.
     cache = DataCache(
-        partition.cache_bytes, assoc=cfg.cache_assoc, line_bytes=cfg.cache_line_bytes
+        partition.cache_bytes,
+        assoc=cfg.cache_assoc,
+        line_bytes=cfg.cache_line_bytes,
+        misaligned="floor",
     )
     if dram is None:
         dram = cfg.make_dram_channel(
@@ -145,6 +150,8 @@ def simulate(
     counts = EnergyCounts()
     line_bytes = cfg.cache_line_bytes
     plans_k = plan_kernel(kernel, line_bytes)
+    # None = legacy blocking miss model (the golden-fixture default).
+    mshr = cfg.make_mshr_file()
 
     # Event heap of (ready_cycle, seq, warp); seq keeps FIFO order among ties.
     heap: list[tuple[float, int, _WarpState]] = []
@@ -270,6 +277,7 @@ def simulate(
             # serialise in the memory pipeline (other warps keep issuing).
             issue_done = t + 1
             wb_cause = CAUSE_RAW  # latency class of the writeback (obs)
+            mshr_wait = 0.0  # cycles this op stalled for a free MSHR entry
             if kind <= K_SHARED_STORE:
                 penalty, bucket, rows, arb = planned_shared(
                     pl, op.addrs, w.cta.shared_base
@@ -299,7 +307,47 @@ def simulate(
                     completion = data_ready
                     if cache_enabled:
                         cache_row_reads_t += rows
-                        if obs is None:
+                        if mshr is not None:
+                            # Non-blocking memory system: a primary miss
+                            # allocates an MSHR entry and an addressed
+                            # line fill; a secondary miss to an in-flight
+                            # line merges into its outstanding fill with
+                            # no extra DRAM traffic; a full file stalls
+                            # the LSU until the earliest fill retires.
+                            cur = data_ready
+                            for seg in pl.segments:
+                                hit = cache_read(seg)
+                                if obs is not None:
+                                    obs.cache_access(cur, hit)
+                                fill = mshr.outstanding(seg, cur)
+                                if fill is not None:
+                                    # The tag was installed by the
+                                    # primary miss, so the probe "hits";
+                                    # the data arrives with the fill.
+                                    mshr.secondary_merges += 1
+                                    wb_cause = CAUSE_MEMORY
+                                    done = fill
+                                elif hit:
+                                    done = cur + hit_latency
+                                else:
+                                    free = mshr.entry_free_at(cur)
+                                    if free > cur:
+                                        mshr.full_stalls += 1
+                                        mshr.full_stall_cycles += free - cur
+                                        mshr_wait += free - cur
+                                        cur = free
+                                    done = dram_request(cur, line_bytes, seg)
+                                    mshr.allocate(seg, done, cur)
+                                    wb_cause = CAUSE_MEMORY
+                                if done > completion:
+                                    completion = done
+                            if cur > mem_port_free:
+                                # An LSU that cannot allocate an entry
+                                # blocks the memory pipeline (structural
+                                # back-pressure); this also keeps the
+                                # DRAM request stream time-ordered.
+                                mem_port_free = cur
+                        elif obs is None:
                             for seg in pl.segments:
                                 if cache_read(seg):
                                     done = data_ready + hit_latency
@@ -344,8 +392,14 @@ def simulate(
                         pls = pl.per_line_sectors
                         if pls is None:
                             pls = pl.sector_info(op.addrs, line_bytes)[1]
-                        for nsect in pls:
-                            dram_request(data_ready, nsect * txn_bytes)
+                        if mshr is not None:
+                            # Non-blocking mode addresses the bursts so
+                            # the DRAM row-buffer decode sees them.
+                            for seg, nsect in zip(pl.segments, pls):
+                                dram_request(data_ready, nsect * txn_bytes, seg)
+                        else:
+                            for nsect in pls:
+                                dram_request(data_ready, nsect * txn_bytes)
                     else:
                         ns = pl.n_sectors
                         if ns < 0:
@@ -376,13 +430,14 @@ def simulate(
             if op.dst is not None:
                 if kind <= K_TEX:
                     cause = CAUSE_MEMORY if kind == K_TEX else CAUSE_RAW
-                    wb_conflict = 0.0
+                    obs.writeback(w.wid, op.dst, completion, cause, 0.0)
                 else:
-                    cause = wb_cause
                     # Memory-pipeline serialisation folded into this
                     # op's latency: LSU-port queueing + bank conflicts.
                     wb_conflict = (port_start - issue_done) + penalty
-                obs.writeback(w.wid, op.dst, completion, cause, wb_conflict)
+                    obs.writeback(
+                        w.wid, op.dst, completion, wb_cause, wb_conflict, mshr_wait
+                    )
 
         # ---- advance warp ------------------------------------------------
         pc += 1
@@ -454,6 +509,16 @@ def simulate(
     if obs is not None:
         obs.finish(end)
         stall_cycles = obs.stall_totals()
+    notes: dict = {}
+    if mshr is not None:
+        memsys = {"mshr": mshr.stats()}
+        if getattr(dram, "row_hits", None) is not None:
+            # A private channel keeps its own row-buffer counters; a
+            # shared-system port does not (the chip result carries the
+            # system-wide counters instead).
+            memsys["dram_row_hits"] = dram.row_hits
+            memsys["dram_row_misses"] = dram.row_misses
+        notes["memsys"] = memsys
     return SimResult(
         kernel=kernel.name,
         partition=partition,
@@ -470,4 +535,5 @@ def simulate(
         energy_counts=counts,
         limiting_resource=scheduler.limits.limiting_resource,
         stall_cycles=stall_cycles,
+        notes=notes,
     )

@@ -20,7 +20,8 @@ def test_run_micro_payload_validates():
     ids = {e.id for e in entries}
     assert {"micro.banks.partitioned", "micro.banks.unified",
             "micro.cache.readwrite", "micro.coalescer.lines",
-            "sim.matrixmul.baseline", "sim.vectoradd.unified384"} <= ids
+            "sim.matrixmul.baseline", "sim.vectoradd.unified384",
+            "sim.matrixmul.nonblocking"} <= ids
     payload = make_payload(entries, scale="tiny", repeats=1)
     assert validate_payload(payload) == []
     # sim.* entries pin simulated cycles -- the cheap cycle-identity check.

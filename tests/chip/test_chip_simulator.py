@@ -191,7 +191,7 @@ class TestSerialization:
         save_chip_result(cr, path)
         loaded = load_chip_result(path)
         assert chip_result_to_dict(loaded) == chip_result_to_dict(cr)
-        assert json.loads(path.read_text())["chip_version"] == 1
+        assert json.loads(path.read_text())["chip_version"] == 2
 
     def test_version_gate(self, stream_k):
         cfg = ChipConfig.single_sm()

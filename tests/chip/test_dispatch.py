@@ -57,3 +57,19 @@ class TestValidation:
             CTADispatcher(num_ctas=-1, num_sms=1)
         with pytest.raises(ValueError):
             CTADispatcher(num_ctas=4, num_sms=0)
+
+    def test_next_cta_rejects_out_of_range_sm(self):
+        d = CTADispatcher(num_ctas=4, num_sms=2)
+        with pytest.raises(ValueError, match="sm_index 2 out of range"):
+            d.next_cta(2)
+        # A negative index would silently wrap to the last SM's list.
+        with pytest.raises(ValueError, match="sm_index -1 out of range"):
+            d.next_cta(-1)
+        assert d.remaining == 4  # rejected asks hand out nothing
+
+    def test_port_rejects_out_of_range_sm(self):
+        d = CTADispatcher(num_ctas=4, num_sms=2)
+        with pytest.raises(ValueError, match="sm_index 5 out of range"):
+            d.port(5)
+        with pytest.raises(ValueError, match="sm_index -2 out of range"):
+            d.port(-2)

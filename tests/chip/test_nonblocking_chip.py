@@ -1,0 +1,139 @@
+"""Non-blocking memory system at chip scope.
+
+Three contracts: a 1-SM chip still IS the single-SM simulator when the
+MSHR path is on; the extended stall-conservation invariant (now
+including ``mshr_full``) stays exact across kernels x DRAM styles x SM
+counts; and the chip result surfaces a merged memsys summary.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chip import ChipConfig, simulate_chip
+from repro.compiler import compile_kernel
+from repro.core import partitioned_baseline
+from repro.experiments.runner import Runner
+from repro.kernels import get_benchmark
+from repro.obs import ChipCollector
+from repro.sm.serialize import result_to_dict
+
+KERNELS = ("vectoradd", "matrixmul", "needle", "bfs", "dgemm", "aes")
+
+NONBLOCKING = dict(mshr_entries=4, dram_banks=8, dram_row_hit_latency=160)
+
+
+@pytest.fixture(scope="module")
+def rn():
+    return Runner("tiny")
+
+
+@pytest.fixture(scope="module")
+def partition():
+    return partitioned_baseline()
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return {k: compile_kernel(get_benchmark(k).build("tiny")) for k in KERNELS}
+
+
+class TestSingleSMIdentity:
+    @pytest.mark.parametrize("kernel", ("vectoradd", "matrixmul", "dgemm"))
+    def test_one_sm_chip_equals_core_in_nonblocking_mode(
+        self, rn, partition, kernel
+    ):
+        cfg = replace(rn.config, mshr_entries=16, dram_banks=8,
+                      dram_row_hit_latency=160)
+        nb = rn.variant(cfg)
+        core = nb.simulate(kernel, partition)
+        cr = simulate_chip(nb.compiled(kernel), partition, ChipConfig.single_sm(cfg))
+        assert result_to_dict(cr.per_sm[0]) == result_to_dict(core)
+        assert cr.cycles == core.cycles
+        assert cr.notes["memsys"]["secondary_merges"] == (
+            core.notes["memsys"]["mshr"]["secondary_merges"]
+        )
+
+    def test_one_sm_shared_system_matches_too(self, rn, partition):
+        # Shared banked DRAMSystem with one channel: the addr decode
+        # collapses to the private channel's, so timing is identical.
+        cfg = replace(rn.config, mshr_entries=16, dram_banks=8,
+                      dram_row_hit_latency=160)
+        nb = rn.variant(cfg)
+        shared = ChipConfig(
+            num_sms=1,
+            dram_bytes_per_cycle=cfg.dram_bytes_per_cycle,
+            dram_channels=1,
+            dram_partitioned=False,
+            sm=cfg,
+        )
+        cr = simulate_chip(nb.compiled("matrixmul"), partition, shared)
+        core = nb.simulate("matrixmul", partition)
+        # Timing and traffic are identical; only the notes differ in
+        # *placement* -- a shared system keeps row counters chip-wide
+        # (the per-SM port has none), a private channel keeps its own.
+        got, want = result_to_dict(cr.per_sm[0]), result_to_dict(core)
+        got_notes, want_notes = got.pop("notes"), want.pop("notes")
+        assert got == want
+        assert got_notes["memsys"]["mshr"] == want_notes["memsys"]["mshr"]
+        assert cr.notes["memsys"]["dram_row_hits"] == (
+            want_notes["memsys"]["dram_row_hits"]
+        )
+        assert cr.notes["memsys"]["dram_row_misses"] == (
+            want_notes["memsys"]["dram_row_misses"]
+        )
+
+
+class TestChipConservation:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize(
+        "partitioned", (False, True), ids=("shared", "partitioned")
+    )
+    @pytest.mark.parametrize("num_sms", (1, 2, 3))
+    def test_invariant_exact_nonblocking(
+        self, rn, compiled, partition, kernel, partitioned, num_sms
+    ):
+        cfg = ChipConfig(
+            num_sms=num_sms,
+            dram_partitioned=partitioned,
+            sm=replace(rn.config, **NONBLOCKING),
+        )
+        cc = ChipCollector.for_chip(cfg)
+        simulate_chip(compiled[kernel], partition, cfg, chip_collector=cc)
+        assert cc.conservation_errors() == []
+
+
+class TestChipNotes:
+    def test_blocking_chip_has_no_memsys_notes(self, rn, compiled, partition):
+        cr = simulate_chip(compiled["vectoradd"], partition, ChipConfig(num_sms=2))
+        assert "memsys" not in cr.notes
+        assert all("memsys" not in r.notes for r in cr.per_sm)
+
+    def test_chip_memsys_sums_per_sm_counters(self, rn, compiled, partition):
+        cfg = ChipConfig(num_sms=2, sm=replace(rn.config, **NONBLOCKING))
+        cr = simulate_chip(compiled["matrixmul"], partition, cfg)
+        memsys = cr.notes["memsys"]
+        assert memsys["mshr_entries"] == 4
+        for key in ("primary_misses", "secondary_merges", "full_stalls",
+                    "full_stall_cycles"):
+            assert memsys[key] == sum(
+                r.notes["memsys"]["mshr"][key] for r in cr.per_sm
+            )
+        # Shared system: row counters live on the system, not the SMs.
+        assert "dram_row_hits" in memsys
+        assert all("dram_row_hits" not in r.notes["memsys"] for r in cr.per_sm)
+
+    def test_partitioned_chip_sums_private_row_counters(
+        self, rn, compiled, partition
+    ):
+        cfg = ChipConfig(
+            num_sms=2, dram_partitioned=True, sm=replace(rn.config, **NONBLOCKING)
+        )
+        cr = simulate_chip(compiled["matrixmul"], partition, cfg)
+        memsys = cr.notes["memsys"]
+        assert memsys["dram_row_hits"] == sum(
+            r.notes["memsys"]["dram_row_hits"] for r in cr.per_sm
+        )
+        assert memsys["dram_row_misses"] == sum(
+            r.notes["memsys"]["dram_row_misses"] for r in cr.per_sm
+        )

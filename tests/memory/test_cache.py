@@ -38,11 +38,28 @@ class TestBasicBehaviour:
         c = DataCache(64 * KB, assoc=4, line_bytes=128)
         assert c.num_sets == 128
 
-    def test_odd_capacity_supported(self):
-        # The unified allocator can leave any remainder as cache.
-        c = DataCache(52 * KB + 384)
+    def test_misaligned_capacity_rejected_by_default(self):
+        # A capacity that is not a whole number of sets must fail
+        # loudly: rounding down silently would model less cache than
+        # the partition allocated.
+        with pytest.raises(ValueError, match="384 B would be silently unmodeled"):
+            DataCache(52 * KB + 384)
+
+    def test_misaligned_capacity_floor_opt_in(self):
+        # The unified allocator can leave any remainder as cache; it
+        # opts into explicit rounding and the slack stays visible.
+        c = DataCache(52 * KB + 384, misaligned="floor")
         assert c.enabled
         assert c.num_sets == (52 * KB + 384) // 512
+        assert c.slack_bytes == 384
+
+    def test_aligned_capacity_has_no_slack(self):
+        c = DataCache(64 * KB)
+        assert c.slack_bytes == 0
+
+    def test_bad_misaligned_mode(self):
+        with pytest.raises(ValueError, match="misaligned"):
+            DataCache(64 * KB, misaligned="truncate")
 
 
 class TestReplacement:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.memory import DRAMChannel, DRAMSystem
+from repro.memory.dram import channel_utilisation
 
 
 class TestTimingModel:
@@ -187,3 +188,127 @@ class TestDRAMSystem:
     def test_bad_construction(self, kwargs):
         with pytest.raises(ValueError):
             DRAMSystem(**kwargs)
+
+
+class TestRowBufferTiming:
+    """Open-page banked timing on a private channel."""
+
+    def _banked(self):
+        return DRAMChannel(
+            bytes_per_cycle=8, latency=400, banks=4, row_bytes=2048,
+            row_hit_latency=160,
+        )
+
+    def test_first_access_misses_then_same_row_hits(self):
+        d = self._banked()
+        first = d.request(0, 128, addr=0)  # opens bank 0 row 0
+        second = d.request(100, 128, addr=128)  # same 2 KB row
+        assert first == 400 + 16
+        assert second == 100 + 160 + 16
+        assert (d.row_hits, d.row_misses) == (1, 1)
+
+    def test_banks_hold_independent_open_rows(self):
+        d = self._banked()
+        d.request(0, 128, addr=0)  # bank 0, row 0: miss
+        d.request(1, 128, addr=2048)  # bank 1, row 0: miss
+        d.request(2, 128, addr=64)  # bank 0 still open: hit
+        d.request(3, 128, addr=2100)  # bank 1 still open: hit
+        assert (d.row_hits, d.row_misses) == (2, 2)
+
+    def test_row_conflict_evicts_open_row(self):
+        d = self._banked()
+        d.request(0, 128, addr=0)  # bank 0, row 0: miss
+        d.request(1, 128, addr=4 * 2048)  # bank 0, row 1: miss, evicts
+        done = d.request(2, 128, addr=0)  # row 0 again: miss
+        assert done == 32 + 400 + 16  # queued behind two transfers
+        assert d.row_misses == 3 and d.row_hits == 0
+
+    def test_addressless_request_pays_full_latency(self):
+        d = self._banked()
+        done = d.request(0, 128)
+        assert done == 400 + 16
+        assert (d.row_hits, d.row_misses) == (0, 1)
+
+    def test_flat_channel_counts_no_rows(self):
+        # The degenerate case tracks nothing: addresses are ignored and
+        # the timing is identical to the legacy flat model.
+        flat = DRAMChannel(bytes_per_cycle=8, latency=400)
+        degenerate = DRAMChannel(
+            bytes_per_cycle=8, latency=400, banks=1, row_hit_latency=400
+        )
+        for now, nbytes, addr in ((0, 128, 0), (5, 32, 0), (50, 64, 8192)):
+            assert degenerate.request(now, nbytes, addr) == flat.request(now, nbytes)
+        assert (degenerate.row_hits, degenerate.row_misses) == (0, 0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(banks=0),
+            dict(row_bytes=0),
+            dict(row_hit_latency=-1),
+            dict(row_hit_latency=401),  # must not exceed the miss latency
+        ],
+    )
+    def test_bad_row_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            DRAMChannel(latency=400, **kwargs)
+        with pytest.raises(ValueError):
+            DRAMSystem(latency=400, **kwargs)
+
+
+class TestSystemRowBuffer:
+    """Banked timing and address routing on the shared system."""
+
+    def test_addr_routes_to_fixed_channel(self):
+        # Addressed requests go where the decode says, NOT to the
+        # least-loaded channel: bank state is meaningless otherwise.
+        sys = DRAMSystem(bytes_per_cycle=16, channels=2, latency=400,
+                         banks=2, row_hit_latency=160)
+        p = sys.port(0)
+        p.request(0, 128, addr=2048)  # chunk 1 -> channel 1
+        p.request(0, 128, addr=2048 + 64)  # channel 1 again, though 0 is idle
+        assert sys.channel_accesses == [0, 2]
+        assert (sys.row_hits, sys.row_misses) == (1, 1)
+
+    def test_addressless_requests_keep_least_loaded_balancing(self):
+        sys = DRAMSystem(bytes_per_cycle=16, channels=2, latency=400,
+                         banks=2, row_hit_latency=160)
+        p = sys.port(0)
+        p.request(0, 80)
+        p.request(0, 8)
+        assert sys.channel_accesses == [1, 1]
+        assert sys.row_misses == 2  # address-less never hits
+
+    def test_one_channel_banked_system_matches_banked_channel(self):
+        # The N=1 reduction extends to row-buffer timing: with one
+        # channel the system's addr decode collapses to the channel's.
+        chan = DRAMChannel(bytes_per_cycle=8, latency=400, banks=4,
+                           row_bytes=2048, row_hit_latency=160)
+        port = DRAMSystem(bytes_per_cycle=8, channels=1, latency=400,
+                          banks=4, row_bytes=2048, row_hit_latency=160).port(0)
+        for now, nbytes, addr in (
+            (0, 128, 0), (5, 32, 128), (10, 128, 2048),
+            (20, 128, 4 * 2048), (30, 64, 0), (40, 128, None),
+        ):
+            assert port.request(now, nbytes, addr) == chan.request(now, nbytes, addr)
+        assert port.system.row_hits == chan.row_hits
+        assert port.system.row_misses == chan.row_misses
+
+
+class TestUtilisationUnclamped:
+    """Regression: over-subscription must be visible, not clamped away."""
+
+    def test_oversubscribed_channel_reports_ratio_above_one(self):
+        d = DRAMChannel(bytes_per_cycle=8)
+        d.request(0, 1600)  # 200 bus-busy cycles
+        assert d.utilisation(100) == pytest.approx(2.0)
+
+    def test_oversubscribed_system_reports_ratio_above_one(self):
+        sys = DRAMSystem(bytes_per_cycle=16, channels=2)
+        sys.port(0).request(0, 3200)
+        assert sys.utilisation(100) > 1.0
+
+    def test_standalone_helper_is_unclamped(self):
+        assert channel_utilisation(1600, 8.0, 100.0) == pytest.approx(2.0)
+        assert channel_utilisation(800, 8.0, 1000.0) == pytest.approx(0.1)
+        assert channel_utilisation(800, 8.0, 0.0) == 0.0

@@ -1,0 +1,103 @@
+"""Unit tests for the MSHR file (non-blocking miss tracking)."""
+
+import pytest
+
+from repro.memory import MSHRFile
+
+
+class TestAllocation:
+    def test_primary_miss_allocates(self):
+        m = MSHRFile(4)
+        m.allocate(0x100, fill_complete=400.0, now=0.0)
+        assert m.primary_misses == 1
+        assert m.outstanding_count == 1
+        assert m.outstanding(0x100, 10.0) == 400.0
+
+    def test_other_lines_are_not_outstanding(self):
+        m = MSHRFile(4)
+        m.allocate(0x100, 400.0, 0.0)
+        assert m.outstanding(0x180, 10.0) is None
+
+    def test_fill_retires_at_completion(self):
+        # A fill landing at or before `now` is in the cache, not in
+        # flight: the lookup must consult the cache instead.
+        m = MSHRFile(4)
+        m.allocate(0x100, 400.0, 0.0)
+        assert m.outstanding(0x100, 399.9) == 400.0
+        assert m.outstanding(0x100, 400.0) is None
+        assert m.outstanding_count == 0
+
+    def test_duplicate_allocation_rejected(self):
+        m = MSHRFile(4)
+        m.allocate(0x100, 400.0, 0.0)
+        with pytest.raises(RuntimeError, match="merge, not re-allocate"):
+            m.allocate(0x100, 500.0, 10.0)
+
+    def test_overflow_rejected(self):
+        m = MSHRFile(2)
+        m.allocate(0x000, 400.0, 0.0)
+        m.allocate(0x080, 410.0, 1.0)
+        with pytest.raises(RuntimeError, match="stall on entry_free_at"):
+            m.allocate(0x100, 420.0, 2.0)
+
+    def test_line_reusable_after_retire(self):
+        # The same line can miss again after its fill retired (cache
+        # eviction brought it back): this is a fresh primary miss.
+        m = MSHRFile(1)
+        m.allocate(0x100, 400.0, 0.0)
+        m.allocate(0x100, 900.0, 500.0)
+        assert m.primary_misses == 2
+
+    def test_needs_at_least_one_entry(self):
+        with pytest.raises(ValueError, match="at least one entry"):
+            MSHRFile(0)
+        with pytest.raises(ValueError, match="at least one entry"):
+            MSHRFile(-4)
+
+
+class TestEntryFreeAt:
+    def test_free_file_admits_immediately(self):
+        m = MSHRFile(2)
+        assert m.entry_free_at(5.0) == 5.0
+        m.allocate(0x000, 400.0, 5.0)
+        assert m.entry_free_at(6.0) == 6.0
+
+    def test_full_file_frees_at_earliest_fill(self):
+        m = MSHRFile(2)
+        m.allocate(0x000, 450.0, 0.0)
+        m.allocate(0x080, 400.0, 1.0)
+        assert m.entry_free_at(2.0) == 400.0
+
+    def test_retirement_frees_the_file(self):
+        m = MSHRFile(1)
+        m.allocate(0x000, 400.0, 0.0)
+        assert m.entry_free_at(100.0) == 400.0
+        assert m.entry_free_at(400.0) == 400.0
+        assert m.entry_free_at(401.0) == 401.0
+
+
+class TestStats:
+    def test_peak_outstanding_tracks_high_water_mark(self):
+        m = MSHRFile(4)
+        m.allocate(0x000, 400.0, 0.0)
+        m.allocate(0x080, 400.0, 1.0)
+        m.allocate(0x100, 400.0, 2.0)
+        assert m.peak_outstanding == 3
+        # Retiring everything does not lower the peak.
+        m.outstanding(0x000, 500.0)
+        m.allocate(0x180, 900.0, 500.0)
+        assert m.peak_outstanding == 3
+
+    def test_stats_payload_shape(self):
+        m = MSHRFile(8)
+        m.allocate(0x000, 400.0, 0.0)
+        m.secondary_merges += 1
+        s = m.stats()
+        assert s == {
+            "entries": 8,
+            "primary_misses": 1,
+            "secondary_merges": 1,
+            "full_stalls": 0,
+            "full_stall_cycles": 0.0,
+            "peak_outstanding": 1,
+        }

@@ -72,7 +72,7 @@ class TestChip:
         ) == 0
         capsys.readouterr()
         payload = json.loads(metrics.read_text())
-        assert payload["chip_version"] == 1
+        assert payload["chip_version"] == 2
         assert len(payload["per_sm"]) == 2
         assert payload["config"]["num_sms"] == 2
         assert len(list((cache / "manifests").glob("run-*.json"))) == 1
