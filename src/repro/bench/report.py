@@ -85,6 +85,43 @@ def timed(bench_id: str, fn, repeats: int = 3, meta: dict | None = None) -> Benc
     return BenchEntry(id=bench_id, seconds=min(runs), runs=runs, meta=merged)
 
 
+def _git_sha() -> str | None:
+    """The working tree's HEAD commit, or None outside a git checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and len(sha) == 40 else None
+
+
+def provenance() -> dict:
+    """Self-describing origin facts for a committed ``BENCH_*.json``.
+
+    A baseline checked into the repo outlives the checkout that wrote
+    it; this block records which revision and machine produced the
+    numbers so a future regression hunt can trust (or discount) them.
+    """
+    prov = {
+        "repro_version": repro.__version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+    sha = _git_sha()
+    if sha is not None:
+        prov["git_sha"] = sha
+    return prov
+
+
 def make_payload(entries: list[BenchEntry], scale: str, repeats: int) -> dict:
     """Assemble the schema-versioned payload for a list of entries."""
     return {
@@ -93,6 +130,7 @@ def make_payload(entries: list[BenchEntry], scale: str, repeats: int) -> dict:
         "date": datetime.date.today().isoformat(),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "provenance": provenance(),
         "scale": scale,
         "repeats": repeats,
         "benchmarks": [e.to_dict() for e in sorted(entries, key=lambda e: e.id)],
@@ -113,6 +151,21 @@ def validate_payload(payload: object) -> list[str]:
     for key in ("scale", "python", "date"):
         if not isinstance(payload.get(key), str):
             errors.append(f"{key!r} must be a string")
+    # Optional: payloads written before the provenance block exist and
+    # must stay valid, but when present it must be well-formed.
+    prov = payload.get("provenance")
+    if prov is not None:
+        if not isinstance(prov, dict):
+            errors.append("'provenance' must be an object")
+        else:
+            for key in ("repro_version", "python", "platform"):
+                if not isinstance(prov.get(key), str):
+                    errors.append(f"provenance.{key!r} must be a string")
+            sha = prov.get("git_sha")
+            if sha is not None and (
+                not isinstance(sha, str) or len(sha) != 40
+            ):
+                errors.append("provenance.'git_sha' must be a 40-char hex string")
     benches = payload.get("benchmarks")
     if not isinstance(benches, list):
         return errors + ["'benchmarks' must be a list"]

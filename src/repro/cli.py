@@ -22,7 +22,15 @@ Commands
     Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  With
     ``--sms N`` the file is the merged chip timeline
     (``repro.obs.trace/2``): a process per SM plus DRAM-channel and
-    CTA-dispatcher tracks.
+    CTA-dispatcher tracks.  ``trace --compare A B`` instead pivots two
+    previously written trace files into one side-by-side timeline.
+``compare A B``
+    Cross-run diff engine: align two run payloads of the same kind
+    (``--metrics-out`` metrics, ``profile`` stall reports, chip
+    profiles/metrics/results, traces, manifests) and attribute the
+    cycle delta -- stall-cause deltas with the conservation invariant
+    re-verified on both sides, per-SM/per-channel deltas, per-CTA
+    slowdowns.  Exits 1 if either side's conservation fails.
 ``experiment ID``
     Regenerate one of the paper's tables/figures (``table1``,
     ``figure2`` ... ``figure11``, ``ablation-cluster-port``,
@@ -112,6 +120,17 @@ def _add_executor_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write deterministic simulation metrics JSON "
                         "(identical for any --jobs value)")
+    p.add_argument("--spans", action="store_true",
+                   help="record fleet-scope executor spans (submit/queue/"
+                        "run per job, worker id, cache disposition); "
+                        "summary on stderr, log persisted under "
+                        "<cache-dir>/spans/ when a cache dir is armed")
+    p.add_argument("--spans-out", default=None, metavar="PATH",
+                   help="write the repro.obs.spans/1 span log to PATH "
+                        "(implies --spans)")
+    p.add_argument("--spans-trace-out", default=None, metavar="PATH",
+                   help="write a Perfetto timeline of the whole sweep to "
+                        "PATH (implies --spans)")
 
 
 def _sm_config(args: argparse.Namespace):
@@ -141,7 +160,16 @@ def _make_executor(args: argparse.Namespace):
         log.error("cannot use cache dir %r: %s", args.cache_dir, e)
         raise SystemExit(2) from e
     runner = Runner(args.scale, _sm_config(args), cache=cache)
-    return Executor(runner, jobs=args.jobs, progress=args.jobs > 1)
+    spans = None
+    if (
+        getattr(args, "spans", False)
+        or getattr(args, "spans_out", None)
+        or getattr(args, "spans_trace_out", None)
+    ):
+        from repro.obs.spans import SpanRecorder
+
+        spans = SpanRecorder(command=getattr(args, "_cmdline", args.command))
+    return Executor(runner, jobs=args.jobs, progress=args.jobs > 1, spans=spans)
 
 
 def _finish_run(
@@ -181,6 +209,23 @@ def _finish_run(
         )
         path = runner.cache.put_manifest(manifest)
         log.info("wrote run manifest to %s", path)
+    spans = getattr(executor, "spans", None)
+    if spans is not None and spans.spans:
+        log.info("%s", spans.format_summary())
+        payload = spans.to_payload()
+        if getattr(args, "spans_out", None):
+            Path(args.spans_out).write_text(
+                json.dumps(payload, indent=2, sort_keys=True)
+            )
+            log.info("wrote span log to %s", args.spans_out)
+        if getattr(args, "spans_trace_out", None):
+            from repro.obs import write_trace
+
+            write_trace(spans.trace_payload(), args.spans_trace_out)
+            log.info("wrote sweep timeline to %s", args.spans_trace_out)
+        if runner.cache is not None:
+            path = runner.cache.put_spans(payload)
+            log.info("persisted span log to %s", path)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -201,8 +246,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the benchmark suite", parents=[common])
 
-    def _add_design_flags(p: argparse.ArgumentParser) -> None:
-        p.add_argument("benchmark")
+    def _add_design_flags(
+        p: argparse.ArgumentParser, benchmark_optional: bool = False
+    ) -> None:
+        if benchmark_optional:
+            p.add_argument("benchmark", nargs="?", default=None)
+        else:
+            p.add_argument("benchmark")
         p.add_argument("--design", choices=("baseline", "fermi", "unified"),
                        default="unified")
         p.add_argument("--capacity", type=int, default=384, metavar="KB",
@@ -294,15 +344,35 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(chipmetrics schema under --sms)")
     prof.add_argument("--trace-out", default=None, metavar="PATH",
                       help="also write a Chrome trace-event file")
+    prof.add_argument("--profile-out", default=None, metavar="PATH",
+                      help="write the stall-attribution payload "
+                           "(repro.obs.profile/1; chip_profile/1 under "
+                           "--sms) for use with `repro compare`")
 
     tr = sub.add_parser("trace", parents=[common],
                         help="write a Perfetto-compatible warp trace")
-    _add_design_flags(tr)
+    _add_design_flags(tr, benchmark_optional=True)
     _add_chip_flags(tr)
     tr.add_argument("--out", default=None, metavar="PATH",
                     help="trace file path (default <benchmark>.trace.json)")
     tr.add_argument("--max-events", type=_positive_int, default=1_000_000,
                     help="trace buffer bound (default 1000000)")
+    tr.add_argument("--compare", nargs=2, metavar=("A", "B"), default=None,
+                    help="pivot two previously written trace files into "
+                         "one side-by-side timeline instead of simulating")
+
+    cp = sub.add_parser("compare", parents=[common],
+                        help="diff two run payloads and attribute the "
+                             "cycle delta")
+    cp.add_argument("a", help="baseline payload: metrics/profile/"
+                              "chipmetrics/chip/trace/manifest JSON")
+    cp.add_argument("b", help="candidate payload (same kind as A)")
+    cp.add_argument("--label-a", default=None, metavar="NAME",
+                    help="display name for A (default: its path)")
+    cp.add_argument("--label-b", default=None, metavar="NAME",
+                    help="display name for B (default: its path)")
+    cp.add_argument("--json-out", default=None, metavar="PATH",
+                    help="also write the repro.obs.diff/1 payload")
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure",
                          parents=[common])
@@ -689,6 +759,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         return 1
     log.info("conservation: issue + stalls == %d warps x %.0f cycles exactly",
              report["warps"], col.total_cycles)
+    if args.profile_out:
+        Path(args.profile_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True)
+        )
+        log.info("wrote stall profile to %s", args.profile_out)
     if args.metrics_out:
         Path(args.metrics_out).write_text(
             json.dumps(col.metrics_payload(), indent=2, sort_keys=True)
@@ -732,6 +807,11 @@ def _cmd_profile_chip(args: argparse.Namespace, window: int) -> int:
         return 1
     log.info("conservation: sum_sm(issue + stalls) == %d warps x %.0f "
              "cycles exactly", cc.warps, cc.total_cycles)
+    if args.profile_out:
+        Path(args.profile_out).write_text(
+            json.dumps(cc.report(), indent=2, sort_keys=True)
+        )
+        log.info("wrote chip stall profile to %s", args.profile_out)
     if args.metrics_out:
         Path(args.metrics_out).write_text(
             json.dumps(cc.chipmetrics_payload(), indent=2, sort_keys=True)
@@ -743,9 +823,45 @@ def _cmd_profile_chip(args: argparse.Namespace, window: int) -> int:
     return 0
 
 
+def _load_json(path: str) -> dict:
+    """Read a JSON payload or exit 2 with a usage-style diagnostic."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        log.error("cannot read %s: %s", path, e)
+        raise SystemExit(2) from e
+    if not isinstance(payload, dict):
+        log.error("%s: expected a JSON object", path)
+        raise SystemExit(2)
+    return payload
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import validate_trace, write_trace
 
+    if args.compare is not None:
+        from repro.obs.compare import pivot_traces
+
+        path_a, path_b = args.compare
+        pivot = pivot_traces(
+            _load_json(path_a), _load_json(path_b),
+            label_a=path_a, label_b=path_b,
+        )
+        errors = validate_trace(pivot)
+        if errors:
+            log.error("invalid pivoted trace:\n%s", "\n".join(errors[:5]))
+            return 1
+        out = args.out or "compare.trace.json"
+        write_trace(pivot, out)
+        print(f"pivoted {path_a} vs {path_b}: "
+              f"{len(pivot['traceEvents'])} trace events -> {out}")
+        print("open in https://ui.perfetto.dev or chrome://tracing "
+              "(both runs share one clock; A's processes first)")
+        return 0
+    if args.benchmark is None:
+        log.error("trace needs a BENCHMARK to simulate, or --compare A B "
+                  "to pivot two existing trace files")
+        raise SystemExit(2)
     if _chip_mode(args):
         cr, cc = _instrumented_chip_run(args, 0, True,
                                         max_trace_events=args.max_events)
@@ -771,6 +887,37 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print("open in https://ui.perfetto.dev or chrome://tracing "
           "(1 us rendered = 1 SM cycle)")
     return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.obs.compare import (
+        build_diff,
+        conservation_violated,
+        format_diff,
+        validate_diff,
+    )
+
+    a = _load_json(args.a)
+    b = _load_json(args.b)
+    try:
+        diff = build_diff(
+            a, b,
+            label_a=args.label_a or args.a,
+            label_b=args.label_b or args.b,
+        )
+    except ValueError as e:
+        log.error("%s", e)
+        return 2
+    problems = validate_diff(diff)
+    if problems:
+        log.error("internal: diff payload failed validation:\n%s",
+                  "\n".join(problems[:5]))
+        return 2
+    print(format_diff(diff))
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(diff, indent=2, sort_keys=True))
+        log.info("wrote diff to %s", args.json_out)
+    return 1 if conservation_violated(diff) else 0
 
 
 def _experiment_registry(scale: str) -> dict:
@@ -1030,6 +1177,7 @@ def main(argv: list[str] | None = None) -> int:
         "chip": lambda: _cmd_chip(args),
         "profile": lambda: _cmd_profile(args),
         "trace": lambda: _cmd_trace(args),
+        "compare": lambda: _cmd_compare(args),
         "experiment": lambda: _cmd_experiment(args),
         "suite": lambda: _cmd_suite(args),
         "autotune": lambda: _cmd_autotune(args),

@@ -16,6 +16,9 @@ Layout under the cache root::
     manifests/run-*.json   -- provenance records of the runs that wrote
                               here (:mod:`repro.obs.manifest`); named by
                               timestamp + digest, never looked up by key
+    spans/spans-*.json     -- executor span logs (:mod:`repro.obs.spans`)
+                              plus an ``index.json`` listing them; like
+                              manifests, append-only provenance
 
 Keys are canonical JSON renderings of plain-data tuples hashed with
 SHA-256, and every key embeds the relevant format version
@@ -186,19 +189,86 @@ class DiskCache:
         self._replace(tmp, path)
 
     # -- run manifests ------------------------------------------------------
+    @staticmethod
+    def _unique_path(path: Path) -> Path:
+        """First non-existing ``name``, ``name-2``, ``name-3``, ... path.
+
+        Default manifest/span names embed a wall-clock second plus a
+        content digest, so many ``--jobs`` workers (or two quick serial
+        runs) finishing in the same second with *different* payloads
+        must not clobber each other; identical payloads may (their
+        bytes match, so the replace is a no-op).
+        """
+        if not path.exists():
+            return path
+        for n in range(2, 10_000):
+            candidate = path.with_name(f"{path.stem}-{n}{path.suffix}")
+            if not candidate.exists():
+                return candidate
+        raise RuntimeError(f"could not uniquify {path}")
+
     def put_manifest(self, manifest: dict) -> Path:
         """Write a run's provenance record next to the artifacts it made."""
         from repro.obs.manifest import default_manifest_name, write_manifest
 
         directory = self.root / "manifests"
         directory.mkdir(parents=True, exist_ok=True)
-        return write_manifest(manifest, directory / default_manifest_name(manifest))
+        return write_manifest(
+            manifest, self._unique_path(directory / default_manifest_name(manifest))
+        )
 
     def manifest_paths(self) -> list[Path]:
         directory = self.root / "manifests"
         if not directory.is_dir():
             return []
         return sorted(directory.glob("run-*.json"))
+
+    # -- executor span logs --------------------------------------------------
+    def put_spans(self, payload: dict) -> Path:
+        """Persist a ``repro.obs.spans/1`` log and index it per suite.
+
+        The log lands next to the manifests (``spans/`` directory) with
+        a uniquified timestamp+digest name; ``spans/index.json`` keeps
+        one summary line per log so a fleet of runs can be enumerated
+        without opening every file.
+        """
+        from repro.obs.spans import default_spans_name
+
+        directory = self.root / "spans"
+        directory.mkdir(parents=True, exist_ok=True)
+        path = self._unique_path(directory / default_spans_name(payload))
+        tmp = path.with_name(f".{os.getpid()}-{path.name}")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        self._replace(tmp, path)
+
+        index_path = directory / "index.json"
+        try:
+            index = json.loads(index_path.read_text())
+            if not isinstance(index, list):
+                raise ValueError("spans index must be a JSON array")
+        except Exception:
+            index = []
+        index.append(
+            {
+                "file": path.name,
+                "created_unix": payload.get("created_unix"),
+                "command": payload.get("command"),
+                "jobs": payload.get("jobs"),
+                "phases": [
+                    p.get("label") for p in payload.get("phases", [])
+                ],
+            }
+        )
+        tmp = index_path.with_name(f".{os.getpid()}-{index_path.name}")
+        tmp.write_text(json.dumps(index, indent=2))
+        self._replace(tmp, index_path)
+        return path
+
+    def spans_paths(self) -> list[Path]:
+        directory = self.root / "spans"
+        if not directory.is_dir():
+            return []
+        return sorted(directory.glob("spans-*.json"))
 
     # -- maintenance -------------------------------------------------------
     def entry_count(self) -> dict[str, int]:

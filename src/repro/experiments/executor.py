@@ -29,12 +29,15 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field, fields
 from typing import Callable
 
 from repro.core.partition import MemoryPartition
 from repro.experiments.runner import EXPECTED_ERRORS, Runner
+from repro.obs.manifest import sm_config_digest
+from repro.obs.spans import SpanRecorder
 from repro.sm import SMConfig
 
 log = logging.getLogger(__name__)
@@ -197,7 +200,7 @@ def _stats_snapshot(cache) -> dict[str, int]:
 
 def _run_job(
     indexed: tuple[int, Job],
-) -> tuple[int, float, str | None, list, dict[str, int] | None]:
+) -> tuple[int, float, float, str | None, list, dict[str, int] | None, int]:
     idx, job = indexed
     rn = _FORK_RUNNER
     rn.journal_reset()
@@ -208,14 +211,16 @@ def _run_job(
         _execute(rn, job)
     except _EXPECTED as e:
         error = f"{type(e).__name__}: {e}"
-    seconds = time.perf_counter() - start
+    end = time.perf_counter()
     # Disk-cache hits land in the worker; ship the per-job delta so the
     # parent's summary still reports them.
     stats = None
     if rn.cache is not None:
         after = _stats_snapshot(rn.cache)
         stats = {k: after[k] - before[k] for k in after}
-    return idx, seconds, error, rn.journal_reset(), stats
+    # Workers are forked, so these perf_counter stamps share the
+    # parent's CLOCK_MONOTONIC base and line up on one span timeline.
+    return idx, start, end, error, rn.journal_reset(), stats, os.getpid()
 
 
 class Executor:
@@ -225,26 +230,57 @@ class Executor:
         runner: The parent Runner whose memo the executor warms.
         jobs: Worker process count; 1 (the default) runs in-process.
         progress: Write one line per completed job to ``stderr``.
+        spans: Optional :class:`~repro.obs.spans.SpanRecorder`; when
+            armed, every job emits a fleet-scope span (submit ->
+            running -> done/cache-hit with worker id, config digest,
+            cache disposition, journal adoption).  Recording observes
+            wall-clock and cache counters only -- never simulation
+            state -- so it cannot change a simulated cycle.
     """
 
-    def __init__(self, runner: Runner, jobs: int = 1, progress: bool = False) -> None:
+    def __init__(
+        self,
+        runner: Runner,
+        jobs: int = 1,
+        progress: bool = False,
+        spans: SpanRecorder | None = None,
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.runner = runner
         self.jobs = jobs
         self.progress = progress
+        self.spans = spans
         self.reports: list[ExecutionReport] = []
+        self._digests: dict[SMConfig, str] = {}
+
+    def _config_digest(self, job: Job) -> str | None:
+        """The span's sim fingerprint: SMConfig digest, memoised."""
+        if self.spans is None:
+            return None
+        config = job.config if job.config is not None else self.runner.config
+        digest = self._digests.get(config)
+        if digest is None:
+            digest = self._digests[config] = sm_config_digest(config)
+        return digest
 
     def prime(self, jobs: list[Job], label: str = "jobs") -> ExecutionReport:
         """Execute ``jobs`` and warm the runner's memo with the results."""
         workers = max(1, min(self.jobs, len(jobs)))
         report = ExecutionReport(label=label, workers=workers)
+        submit = (
+            self.spans.phase_start(label, workers)
+            if self.spans is not None
+            else time.perf_counter()
+        )
         start = time.perf_counter()
         if workers == 1:
-            self._prime_serial(jobs, report)
+            self._prime_serial(jobs, report, submit)
         else:
-            self._prime_forked(jobs, workers, report)
+            self._prime_forked(jobs, workers, report, submit)
         report.wall_seconds = time.perf_counter() - start
+        if self.spans is not None:
+            self.spans.phase_end()
         self.reports.append(report)
         return report
 
@@ -260,34 +296,58 @@ class Executor:
                 suffix,
             )
 
-    def _prime_serial(self, jobs: list[Job], report: ExecutionReport) -> None:
+    def _prime_serial(
+        self, jobs: list[Job], report: ExecutionReport, submit: float
+    ) -> None:
         for i, job in enumerate(jobs):
+            before = None
+            if self.spans is not None and self.runner.cache is not None:
+                before = _stats_snapshot(self.runner.cache)
             start = time.perf_counter()
             error = None
             try:
                 _execute(self.runner, job)
             except _EXPECTED as e:
                 error = f"{type(e).__name__}: {e}"
-            outcome = JobOutcome(job, time.perf_counter() - start, error)
+            end = time.perf_counter()
+            outcome = JobOutcome(job, end - start, error)
             report.outcomes.append(outcome)
             self._note(i + 1, len(jobs), outcome)
+            if self.spans is not None:
+                delta = None
+                if before is not None:
+                    after = _stats_snapshot(self.runner.cache)
+                    delta = {k: after[k] - before[k] for k in after}
+                self.spans.record_job(
+                    job=job,
+                    index=i,
+                    submit=submit,
+                    start=start,
+                    end=end,
+                    worker=os.getpid(),
+                    error=error,
+                    cache=delta,
+                    config_digest=self._config_digest(job),
+                )
 
     def _prime_forked(
-        self, jobs: list[Job], workers: int, report: ExecutionReport
+        self, jobs: list[Job], workers: int, report: ExecutionReport, submit: float
     ) -> None:
         global _FORK_RUNNER
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # platform without fork: stay correct, go serial
-            self._prime_serial(jobs, report)
+            self._prime_serial(jobs, report, submit)
             return
         outcomes: dict[int, JobOutcome] = {}
         _FORK_RUNNER = self.runner
         try:
             with ctx.Pool(processes=workers) as pool:
                 results = pool.imap_unordered(_run_job, list(enumerate(jobs)))
-                for idx, seconds, error, entries, stats in results:
+                for idx, t_start, t_end, error, entries, stats, pid in results:
+                    adopt_start = time.perf_counter()
                     self.runner.adopt(entries)
+                    adopt_seconds = time.perf_counter() - adopt_start
                     if stats and self.runner.cache is not None:
                         for name, delta in stats.items():
                             setattr(
@@ -295,8 +355,22 @@ class Executor:
                                 name,
                                 getattr(self.runner.cache.stats, name) + delta,
                             )
-                    outcomes[idx] = JobOutcome(jobs[idx], seconds, error)
+                    outcomes[idx] = JobOutcome(jobs[idx], t_end - t_start, error)
                     self._note(len(outcomes), len(jobs), outcomes[idx])
+                    if self.spans is not None:
+                        self.spans.record_job(
+                            job=jobs[idx],
+                            index=idx,
+                            submit=submit,
+                            start=t_start,
+                            end=t_end,
+                            worker=pid,
+                            error=error,
+                            cache=stats,
+                            adopted=len(entries),
+                            adopt_seconds=adopt_seconds,
+                            config_digest=self._config_digest(jobs[idx]),
+                        )
         finally:
             _FORK_RUNNER = None
         report.outcomes.extend(outcomes[i] for i in sorted(outcomes))

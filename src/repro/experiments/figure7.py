@@ -16,6 +16,7 @@ from repro.experiments.executor import Executor, Job
 from repro.experiments.report import format_table, geomean
 from repro.experiments.runner import Runner
 from repro.kernels import NO_BENEFIT_SET
+from repro.obs.compare import diff_results
 
 
 @dataclass(frozen=True)
@@ -23,6 +24,8 @@ class Figure7Row:
     name: str
     perf_ratio: float  # unified / partitioned performance (1.0 = equal)
     energy_ratio: float  # unified / partitioned energy (lower is better)
+    delta_cycles: float = 0.0  # unified cycles - partitioned cycles
+    top_shift: str = ""  # dominant stall-cause delta, e.g. "bank_conflict +12"
 
 
 @dataclass
@@ -44,9 +47,14 @@ class Figure7Result:
         return geomean([r.energy_ratio for r in self.rows])
 
     def format(self) -> str:
-        headers = ["benchmark", "perf (uni/part)", "energy (uni/part)"]
-        rows = [[r.name, r.perf_ratio, r.energy_ratio] for r in self.rows]
-        rows.append(["geomean", self.mean_perf, self.mean_energy])
+        headers = ["benchmark", "perf (uni/part)", "energy (uni/part)",
+                   "dcycles", "top stall shift"]
+        rows = [
+            [r.name, r.perf_ratio, r.energy_ratio,
+             f"{r.delta_cycles:+.0f}", r.top_shift or "-"]
+            for r in self.rows
+        ]
+        rows.append(["geomean", self.mean_perf, self.mean_energy, "", ""])
         return format_table(
             headers,
             rows,
@@ -80,11 +88,23 @@ def run(
         uni, _ = rn.unified(name, total_kb=384)
         e_base = rn.priced(base).energy
         e_uni = rn.priced(uni, baseline=base).energy
+        # Attribute the (tiny) perf delta through the diff engine: the
+        # ratio is speedup_over's, and when stall attribution is live
+        # the dominant shifted cause names *why* unification cost or
+        # saved those cycles.
+        d = diff_results(base, uni)
+        shifted = [a for a in d.get("attribution", []) if a["delta"]]
         rows.append(
             Figure7Row(
                 name=name,
-                perf_ratio=uni.speedup_over(base),
+                perf_ratio=d["cycles"]["speedup"],
                 energy_ratio=e_uni.total_j / e_base.total_j,
+                delta_cycles=d["cycles"]["delta"],
+                top_shift=(
+                    f"{shifted[0]['cause']} {shifted[0]['delta']:+.0f}"
+                    if shifted
+                    else ""
+                ),
             )
         )
     return Figure7Result(rows)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from repro.experiments.executor import Executor, Job
 from repro.experiments.report import format_table
 from repro.experiments.runner import Runner
+from repro.obs.compare import diff_results
 from repro.sm import SMConfig
 
 #: Sweep points: config label -> SMConfig overrides.  ``blocking`` is
@@ -71,6 +72,7 @@ class MemsysRow:
     config: str
     cycles: float
     speedup: float  # blocking cycles / this config's cycles
+    delta_cycles: float  # this config's cycles - blocking cycles
     merge_fraction: float  # secondary merges / all misses
     row_hit_rate: float  # row hits / decoded requests (0 when flat)
     mshr_full_cycles: float  # LSU cycles stalled on a full MSHR file
@@ -82,7 +84,7 @@ class MemsysResult:
 
     def format(self) -> str:
         headers = [
-            "benchmark", "config", "cycles", "speedup",
+            "benchmark", "config", "cycles", "speedup", "dcycles",
             "merge%", "row-hit%", "mshr-full cyc",
         ]
         table = [
@@ -91,6 +93,7 @@ class MemsysResult:
                 r.config,
                 f"{r.cycles:.0f}",
                 f"{r.speedup:.3f}",
+                f"{r.delta_cycles:+.0f}",
                 f"{100.0 * r.merge_fraction:.1f}",
                 f"{100.0 * r.row_hit_rate:.1f}",
                 f"{r.mshr_full_cycles:.0f}",
@@ -101,7 +104,7 @@ class MemsysResult:
             headers,
             table,
             title="Memory-system sensitivity (partitioned baseline; "
-            "speedup vs blocking)",
+            "speedup and cycle delta vs blocking)",
         )
 
 
@@ -127,11 +130,15 @@ def run(
         rn = runner or Runner(scale)
     rows = []
     for name in benchmarks:
-        blocking_cycles: float | None = None
+        blocking = None
         for label, overrides in CONFIGS:
             r = rn.variant(_config(overrides)).baseline(name)
-            if blocking_cycles is None:
-                blocking_cycles = r.cycles
+            if blocking is None:
+                blocking = r
+            # Route the comparison through the diff engine so the
+            # printed speedup shares one definition with `repro
+            # compare` (cycles_a / cycles_b, exact delta).
+            d = diff_results(blocking, r)
             memsys = r.notes.get("memsys", {})
             mshr = memsys.get("mshr", {})
             misses = mshr.get("primary_misses", 0) + mshr.get("secondary_merges", 0)
@@ -141,7 +148,8 @@ def run(
                     benchmark=name,
                     config=label,
                     cycles=r.cycles,
-                    speedup=blocking_cycles / r.cycles,
+                    speedup=d["cycles"]["speedup"],
+                    delta_cycles=d["cycles"]["delta"],
                     merge_fraction=(
                         mshr.get("secondary_merges", 0) / misses if misses else 0.0
                     ),

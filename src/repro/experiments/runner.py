@@ -31,6 +31,8 @@ recorded as a ``(kind, key, value)`` entry, which a parent process can
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, fields
 
 import repro
@@ -619,12 +621,20 @@ class Runner:
             bpc = dict(key[-1])["dram_bytes_per_cycle"]
             util = channel_utilisation(r.dram_bytes, bpc, r.cycles)
             stats = r.cache_stats
+            # key[-1] IS the config fingerprint, so hashing it the way
+            # sm_config_digest does yields the same digest spans and
+            # manifests carry -- the diff engine's strictest alignment
+            # tier joins on it.
+            config_digest = hashlib.sha256(
+                json.dumps(key[-1], sort_keys=True, default=str).encode()
+            ).hexdigest()
             records.append(
                 {
                     "kernel": r.kernel,
                     "partition": partition_to_dict(r.partition),
                     "regs": key[1],
                     "thread_target": key[3],
+                    "config_digest": config_digest,
                     "cycles": r.cycles,
                     "instructions": r.instructions,
                     "ipc": r.ipc,

@@ -22,6 +22,15 @@ model:
 * :mod:`repro.obs.manifest` builds run manifests (config fingerprint,
   format versions, cache statistics, per-phase wall-clock) for the
   experiment layer.
+* :class:`~repro.obs.spans.SpanRecorder` lifts observability to fleet
+  scope: every executor job emits a submit -> queued -> running ->
+  done/cache-hit span with worker id, config fingerprint, and cache
+  disposition, summarised per suite and exportable as a Perfetto
+  timeline of the whole sweep.
+* :mod:`repro.obs.compare` is the cross-run diff engine: align two
+  runs (metrics, profiles, chip payloads, traces, manifests) and
+  attribute the cycle delta by stall cause, SM, channel, and CTA --
+  with the conservation invariant re-verified on both sides.
 
 Instrumentation is strictly opt-in: ``simulate(...)`` defaults to the
 :data:`NULL_COLLECTOR`, and the hot loop guards every hook behind a
@@ -48,7 +57,25 @@ from repro.obs.chip import (
     ChipCollector,
     validate_chipmetrics,
 )
+from repro.obs.compare import (
+    DIFF_SCHEMA,
+    TRACE_PIVOT_SCHEMA,
+    build_diff,
+    cta_slowdowns,
+    diff_results,
+    format_diff,
+    pivot_traces,
+    recheck_conservation,
+    validate_diff,
+)
 from repro.obs.metrics import METRICS_SCHEMA, IntervalSampler
+from repro.obs.spans import (
+    SPANS_SCHEMA,
+    SPANS_TRACE_SCHEMA,
+    JobSpan,
+    SpanRecorder,
+    validate_spans,
+)
 from repro.obs.trace import (
     TRACE_CHIP_SCHEMA,
     TRACE_SCHEMA,
@@ -68,17 +95,31 @@ __all__ = [
     "CAUSE_RAW",
     "CHIP_PROFILE_SCHEMA",
     "CHIPMETRICS_SCHEMA",
+    "DIFF_SCHEMA",
     "METRICS_SCHEMA",
     "NULL_COLLECTOR",
+    "SPANS_SCHEMA",
+    "SPANS_TRACE_SCHEMA",
     "STALL_CAUSES",
     "TRACE_CHIP_SCHEMA",
+    "TRACE_PIVOT_SCHEMA",
     "TRACE_SCHEMA",
     "ChipCollector",
     "Collector",
     "IntervalSampler",
+    "JobSpan",
     "NullCollector",
+    "SpanRecorder",
     "TraceBuffer",
+    "build_diff",
+    "cta_slowdowns",
+    "diff_results",
+    "format_diff",
+    "pivot_traces",
+    "recheck_conservation",
     "validate_chipmetrics",
+    "validate_diff",
+    "validate_spans",
     "validate_trace",
     "write_trace",
 ]

@@ -1,0 +1,433 @@
+"""Executor span tracing: fleet-scope observability for experiment sweeps.
+
+The first two observability layers answer "where did the cycles go?"
+inside one simulation (:mod:`repro.obs.collector`) and one chip
+(:mod:`repro.obs.chip`).  This module adds the third scope -- the
+*experiment fleet*: every job the
+:class:`~repro.experiments.executor.Executor` runs emits a structured
+span covering its whole life (submit -> queued -> running -> done /
+expected-error / cache-hit), stamped with wall-clock, worker process,
+SMConfig digest, the job's disk-cache disposition, and the journal
+adoption that shipped its artefacts back to the parent.
+
+Timing uses ``time.perf_counter()`` on both sides of the fork: the
+executor's workers are forked children, so parent and child share one
+``CLOCK_MONOTONIC`` base and their stamps are directly comparable.  All
+recorded times are seconds relative to the recorder's epoch.
+
+Three exports come out of one recorded sweep:
+
+* :meth:`SpanRecorder.to_payload` -- the schema-versioned span log
+  (:data:`SPANS_SCHEMA`, ``repro.obs.spans/1``), persisted next to the
+  run manifests by :meth:`~repro.experiments.artifacts.DiskCache.put_spans`;
+* :meth:`SpanRecorder.summary` / :meth:`SpanRecorder.format_summary` --
+  per-phase critical path, worker utilisation, and the cumulative cache
+  hit-rate timeline the ``suite`` command logs;
+* :meth:`SpanRecorder.trace_payload` -- a Chrome-trace timeline of the
+  whole sweep (phases + one track per worker), so a multi-experiment
+  run opens in Perfetto exactly like a single chip run (1 us of trace
+  time = 1 us of wall-clock).
+
+Recording is strictly opt-in (``--spans`` and friends) and observes
+only wall-clock the executor already measures plus cache-statistics
+snapshots -- it never touches simulation state, so spans cannot change
+a simulated cycle (pinned by the fleet neutrality tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+
+from repro.obs.trace import TraceBuffer
+
+SPANS_SCHEMA = "repro.obs.spans/1"
+
+#: Schema of the sweep timeline emitted by
+#: :meth:`SpanRecorder.trace_payload`: a "sweep phases" process with
+#: phase and journal-adoption tracks, plus a "workers" process with one
+#: job track per worker process.
+SPANS_TRACE_SCHEMA = "repro.obs.trace.spans/1"
+
+#: Terminal states a job span can report.
+JOB_STATUSES = ("done", "expected-error", "cache-hit")
+
+#: Trace process ids of the sweep timeline.
+PID_PHASES = 0
+PID_WORKERS = 1
+
+
+@dataclass(slots=True)
+class JobSpan:
+    """One executor job's lifetime, in seconds since the recorder epoch.
+
+    ``submit <= start <= end``: the gap ``start - submit`` is queueing
+    (waiting for a pool slot), ``end - start`` is execution.  ``cache``
+    is the per-job :class:`~repro.experiments.artifacts.DiskCacheStats`
+    delta (None when no disk cache is armed); ``adopted`` counts the
+    journal entries the parent merged for this job and
+    ``adopt_seconds`` the wall-clock that merge took (both 0 on the
+    serial path, where no shipping happens).
+    """
+
+    phase: str
+    index: int
+    job: str
+    kind: str
+    benchmark: str
+    submit: float
+    start: float
+    end: float
+    worker: int
+    status: str
+    error: str | None = None
+    config_digest: str | None = None
+    cache: dict | None = None
+    adopted: int = 0
+    adopt_seconds: float = 0.0
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+    @property
+    def queued_seconds(self) -> float:
+        return self.start - self.submit
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase,
+            "index": self.index,
+            "job": self.job,
+            "kind": self.kind,
+            "benchmark": self.benchmark,
+            "submit": self.submit,
+            "start": self.start,
+            "end": self.end,
+            "queued_seconds": self.queued_seconds,
+            "seconds": self.seconds,
+            "worker": self.worker,
+            "status": self.status,
+            "error": self.error,
+            "config_digest": self.config_digest,
+            "cache": self.cache,
+            "adopted": self.adopted,
+            "adopt_seconds": self.adopt_seconds,
+        }
+
+
+def _cache_disposition(cache: dict | None) -> tuple[int, int]:
+    """(hits, misses) of one job's disk-cache stats delta."""
+    if not cache:
+        return 0, 0
+    hits = sum(v for k, v in cache.items() if k.endswith("_hits"))
+    misses = sum(v for k, v in cache.items() if k.endswith("_misses"))
+    return hits, misses
+
+
+class SpanRecorder:
+    """Collects :class:`JobSpan` records across an executor's phases.
+
+    One recorder spans one CLI invocation: each
+    :meth:`~repro.experiments.executor.Executor.prime` call opens a
+    phase (named by the driver: ``figure7``, ``memsys``, ...), records
+    a span per job, and closes the phase.  The recorder only ever
+    *receives* absolute ``perf_counter()`` stamps and normalises them
+    to its epoch, so worker-side and parent-side times line up.
+    """
+
+    enabled = True
+
+    def __init__(self, command: str | None = None) -> None:
+        self.command = command
+        self.created_unix = time.time()
+        self.epoch = time.perf_counter()
+        self.spans: list[JobSpan] = []
+        self.phases: list[dict] = []
+        self._phase: dict | None = None
+
+    def _rel(self, t_abs: float) -> float:
+        return t_abs - self.epoch
+
+    # -- executor hooks ----------------------------------------------------
+    def phase_start(self, label: str, workers: int) -> float:
+        """Open a phase; returns the submit stamp its jobs share.
+
+        Every job of a phase is enqueued when ``prime`` starts, so one
+        stamp is the honest submit time for all of them -- per-job
+        queueing is then visible as ``start - submit``.
+        """
+        now = time.perf_counter()
+        self._phase = {
+            "label": label,
+            "workers": workers,
+            "jobs": 0,
+            "start": self._rel(now),
+            "end": self._rel(now),
+        }
+        self.phases.append(self._phase)
+        return now
+
+    def phase_end(self) -> None:
+        if self._phase is not None:
+            self._phase["end"] = self._rel(time.perf_counter())
+            self._phase = None
+
+    def record_job(
+        self,
+        *,
+        job,
+        index: int,
+        submit: float,
+        start: float,
+        end: float,
+        worker: int,
+        error: str | None = None,
+        cache: dict | None = None,
+        adopted: int = 0,
+        adopt_seconds: float = 0.0,
+        config_digest: str | None = None,
+    ) -> JobSpan:
+        """Record one finished job (absolute ``perf_counter`` stamps)."""
+        status = "expected-error" if error is not None else "done"
+        if error is None:
+            hits, misses = _cache_disposition(cache)
+            if hits and not misses:
+                status = "cache-hit"
+        if self._phase is not None:
+            self._phase["jobs"] += 1
+        span = JobSpan(
+            phase=self._phase["label"] if self._phase is not None else "",
+            index=index,
+            job=job.describe(),
+            kind=job.kind,
+            benchmark=job.benchmark,
+            submit=self._rel(submit),
+            start=self._rel(start),
+            end=self._rel(end),
+            worker=worker,
+            status=status,
+            error=error,
+            config_digest=config_digest,
+            cache=dict(cache) if cache else None,
+            adopted=adopted,
+            adopt_seconds=adopt_seconds,
+        )
+        self.spans.append(span)
+        return span
+
+    # -- exports -----------------------------------------------------------
+    def to_payload(self) -> dict:
+        """The ``repro.obs.spans/1`` span log (JSON-compatible)."""
+        return {
+            "schema": SPANS_SCHEMA,
+            "created_unix": self.created_unix,
+            "command": self.command,
+            "jobs": len(self.spans),
+            "phases": [dict(p) for p in self.phases],
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+    def summary(self) -> dict:
+        """Roll-up statistics: critical paths, utilisation, hit rate.
+
+        For a phase of independent jobs the critical path is its
+        longest job -- the lower bound no worker count can beat; the
+        utilisation is busy worker-seconds over the phase's
+        ``workers x wall`` budget.
+        """
+        per_phase = []
+        for phase in self.phases:
+            spans = [s for s in self.spans if s.phase == phase["label"]]
+            wall = phase["end"] - phase["start"]
+            busy = sum(s.seconds for s in spans)
+            critical = max(spans, key=lambda s: s.seconds, default=None)
+            per_phase.append(
+                {
+                    "label": phase["label"],
+                    "workers": phase["workers"],
+                    "jobs": len(spans),
+                    "wall_seconds": wall,
+                    "busy_seconds": busy,
+                    "utilisation": (
+                        busy / (phase["workers"] * wall) if wall > 0 else 0.0
+                    ),
+                    "critical_job": critical.job if critical is not None else None,
+                    "critical_seconds": (
+                        critical.seconds if critical is not None else 0.0
+                    ),
+                }
+            )
+        workers: dict[int, dict] = {}
+        for s in self.spans:
+            w = workers.setdefault(s.worker, {"worker": s.worker, "jobs": 0,
+                                              "busy_seconds": 0.0})
+            w["jobs"] += 1
+            w["busy_seconds"] += s.seconds
+        statuses = dict.fromkeys(JOB_STATUSES, 0)
+        for s in self.spans:
+            statuses[s.status] = statuses.get(s.status, 0) + 1
+        # Cumulative disk-cache hit rate in completion order: the
+        # "does the cache warm up over the sweep?" timeline.
+        timeline = []
+        hits = accesses = 0
+        for s in sorted(self.spans, key=lambda s: s.end):
+            h, m = _cache_disposition(s.cache)
+            if h + m == 0:
+                continue
+            hits += h
+            accesses += h + m
+            timeline.append({"end": s.end, "hit_rate": hits / accesses})
+        return {
+            "jobs": len(self.spans),
+            "statuses": statuses,
+            "phases": per_phase,
+            "workers": sorted(workers.values(), key=lambda w: w["worker"]),
+            "cache_hit_timeline": timeline,
+        }
+
+    def format_summary(self) -> str:
+        """Human-readable roll-up (the ``suite`` command's span lines)."""
+        s = self.summary()
+        n_workers = len(s["workers"])
+        lines = [
+            f"[spans] {s['jobs']} jobs over {len(s['phases'])} phase(s) on "
+            f"{n_workers} worker process(es): "
+            + ", ".join(f"{v} {k}" for k, v in s["statuses"].items() if v)
+        ]
+        for p in s["phases"]:
+            lines.append(
+                f"  {p['label']}: {p['jobs']} jobs, {p['wall_seconds']:.2f}s "
+                f"wall, {p['busy_seconds']:.2f}s busy "
+                f"({p['utilisation']:.0%} of {p['workers']} worker(s)); "
+                f"critical path {p['critical_seconds']:.2f}s"
+                + (f" [{p['critical_job']}]" if p["critical_job"] else "")
+            )
+        timeline = s["cache_hit_timeline"]
+        if timeline:
+            lines.append(
+                f"  cache hit rate over the sweep: "
+                f"{timeline[0]['hit_rate']:.0%} -> {timeline[-1]['hit_rate']:.0%}"
+            )
+        return "\n".join(lines)
+
+    def trace_payload(self) -> dict:
+        """Chrome-trace timeline of the sweep (1 us = 1 us wall-clock)."""
+        buf = TraceBuffer(max_events=max(1, 4 * len(self.spans) + 64))
+        buf.process_name(PID_PHASES, "sweep phases")
+        buf.thread_name(PID_PHASES, 0, "phases")
+        buf.thread_name(PID_PHASES, 1, "journal adoption")
+        buf.process_name(PID_WORKERS, "workers")
+        scale = 1e6  # seconds -> microseconds
+        tids: dict[int, int] = {}
+        for s in self.spans:
+            if s.worker not in tids:
+                tids[s.worker] = len(tids)
+                buf.thread_name(PID_WORKERS, tids[s.worker], f"worker {s.worker}")
+        for phase in self.phases:
+            buf.slice(
+                PID_PHASES, 0, phase["label"], "phase",
+                phase["start"] * scale,
+                (phase["end"] - phase["start"]) * scale,
+                args={"jobs": phase["jobs"], "workers": phase["workers"]},
+            )
+        for s in self.spans:
+            buf.slice(
+                PID_WORKERS, tids[s.worker], f"{s.kind} {s.benchmark}", "job",
+                s.start * scale, s.seconds * scale,
+                args={"status": s.status, "index": s.index, "job": s.job,
+                      "queued_ms": s.queued_seconds * 1e3},
+            )
+            if s.adopted:
+                buf.slice(
+                    PID_PHASES, 1, f"adopt {s.benchmark}", "adopt",
+                    s.end * scale, s.adopt_seconds * scale,
+                    args={"entries": s.adopted},
+                )
+        payload = buf.to_payload()
+        payload["otherData"] = {
+            "schema": SPANS_TRACE_SCHEMA,
+            "clock": "1 us of trace time = 1 us of wall-clock",
+            "droppedEvents": buf.dropped,
+            "command": self.command,
+            "jobs": len(self.spans),
+        }
+        return payload
+
+
+def validate_spans(payload: dict) -> list[str]:
+    """Structural checks for a ``repro.obs.spans/1`` payload.
+
+    Returns a list of problems (empty = valid).  Used by the test suite
+    and CI to validate persisted span logs.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload must be a JSON object"]
+    if payload.get("schema") != SPANS_SCHEMA:
+        problems.append(f"schema must be {SPANS_SCHEMA!r}")
+    if not isinstance(payload.get("created_unix"), (int, float)):
+        problems.append("created_unix must be a number")
+    phases = payload.get("phases")
+    if not isinstance(phases, list):
+        problems.append("phases must be a JSON array")
+        phases = []
+    labels = set()
+    for i, p in enumerate(phases):
+        if not isinstance(p, dict):
+            problems.append(f"phase {i}: not an object")
+            continue
+        if not isinstance(p.get("label"), str):
+            problems.append(f"phase {i}: missing label")
+        else:
+            labels.add(p["label"])
+        if not isinstance(p.get("workers"), int) or p.get("workers", 0) < 1:
+            problems.append(f"phase {i}: workers must be a positive integer")
+        for key in ("start", "end"):
+            if not isinstance(p.get(key), (int, float)):
+                problems.append(f"phase {i}: missing numeric {key}")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        return problems + ["spans must be a JSON array"]
+    if payload.get("jobs") != len(spans):
+        problems.append("jobs must equal len(spans)")
+    for i, s in enumerate(spans):
+        if not isinstance(s, dict):
+            problems.append(f"span {i}: not an object")
+            continue
+        for key in ("job", "kind", "benchmark", "phase"):
+            if not isinstance(s.get(key), str):
+                problems.append(f"span {i}: missing string {key}")
+        if s.get("phase") and labels and s["phase"] not in labels:
+            problems.append(f"span {i}: unknown phase {s['phase']!r}")
+        for key in ("submit", "start", "end"):
+            if not isinstance(s.get(key), (int, float)):
+                problems.append(f"span {i}: missing numeric {key}")
+        if all(isinstance(s.get(k), (int, float)) for k in ("submit", "start", "end")):
+            if not s["submit"] <= s["start"] <= s["end"]:
+                problems.append(
+                    f"span {i}: times not ordered "
+                    f"(submit {s['submit']} <= start {s['start']} "
+                    f"<= end {s['end']})"
+                )
+        if not isinstance(s.get("worker"), int):
+            problems.append(f"span {i}: missing integer worker")
+        if s.get("status") not in JOB_STATUSES:
+            problems.append(f"span {i}: unknown status {s.get('status')!r}")
+        if s.get("status") == "expected-error" and not s.get("error"):
+            problems.append(f"span {i}: expected-error without an error message")
+        if len(problems) >= 20:
+            problems.append("... (further problems suppressed)")
+            break
+    return problems
+
+
+def default_spans_name(payload: dict) -> str:
+    """A collision-resistant file name for a span log."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(payload["created_unix"]))
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode()
+    ).hexdigest()[:8]
+    return f"spans-{stamp}-{digest}.json"

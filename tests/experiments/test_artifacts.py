@@ -127,3 +127,85 @@ class TestRunnerIntegration:
         warm = Runner("tiny", cache=cache)
         assert warm.baseline("vectoradd") == ref
         assert cache.stats.invalidated == 1
+
+
+class TestManifestCollisions:
+    """Same-second manifest/span writes must uniquify, not clobber."""
+
+    def _manifest(self, created_unix=1700000000.0, command="repro suite"):
+        from repro.experiments.runner import config_fingerprint
+        from repro.obs.manifest import build_run_manifest
+        from repro.sm import SMConfig
+
+        m = build_run_manifest(command=command, scale="tiny",
+                               config=SMConfig(), jobs=1)
+        m["created_unix"] = created_unix  # pin the timestamp second
+        return m
+
+    def test_distinct_manifests_in_same_second_both_survive(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        # Same wall-clock second but different content: the default
+        # name collides only if the digest does too, so force it by
+        # writing the *same* name twice via identical payloads first.
+        a = self._manifest(command="repro suite --jobs 1")
+        p1 = cache.put_manifest(a)
+        p2 = cache.put_manifest(a)  # identical name: must uniquify
+        assert p1 != p2
+        assert p2.name == f"{p1.stem}-2{p1.suffix}"
+        assert p1.exists() and p2.exists()
+        assert len(cache.manifest_paths()) == 2
+
+    def test_many_collisions_keep_counting_up(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        m = self._manifest()
+        paths = [cache.put_manifest(m) for _ in range(4)]
+        assert len({p.name for p in paths}) == 4
+        assert paths[3].name.endswith("-4.json")
+
+
+class TestSpansStore:
+    def _payload(self):
+        from repro.obs.spans import SpanRecorder
+
+        rec = SpanRecorder(command="repro suite --spans")
+        submit = rec.phase_start("p", workers=1)
+        class _J:
+            kind = "baseline"
+            benchmark = "x"
+            def describe(self):
+                return "baseline x"
+        rec.record_job(job=_J(), index=0, submit=submit, start=submit,
+                       end=submit + 1.0, worker=1)
+        rec.phase_end()
+        return rec.to_payload()
+
+    def test_put_spans_persists_and_indexes(self, tmp_path):
+        from repro.obs.spans import validate_spans
+
+        cache = DiskCache(tmp_path)
+        payload = self._payload()
+        path = cache.put_spans(payload)
+        assert path.parent.name == "spans"
+        assert not validate_spans(json.loads(path.read_text()))
+        assert cache.spans_paths() == [path]
+        index = json.loads((tmp_path / "spans" / "index.json").read_text())
+        assert index[0]["file"] == path.name
+        assert index[0]["phases"] == ["p"]
+
+    def test_same_second_span_logs_uniquify_and_index_appends(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        payload = self._payload()
+        p1 = cache.put_spans(payload)
+        p2 = cache.put_spans(payload)
+        assert p1 != p2
+        assert len(cache.spans_paths()) == 2
+        index = json.loads((tmp_path / "spans" / "index.json").read_text())
+        assert [e["file"] for e in index] == [p1.name, p2.name]
+
+    def test_corrupt_index_rebuilt_not_crashed(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        (tmp_path / "spans").mkdir()
+        (tmp_path / "spans" / "index.json").write_text("not json")
+        path = cache.put_spans(self._payload())
+        index = json.loads((tmp_path / "spans" / "index.json").read_text())
+        assert [e["file"] for e in index] == [path.name]

@@ -1,0 +1,209 @@
+"""Fleet-scope span tracing: recorder unit tests, executor integration,
+and the observability-neutrality contract (spans change no simulated
+result, ``--metrics-out`` stays byte-identical across ``--jobs``)."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import figure7
+from repro.experiments.artifacts import DiskCache
+from repro.experiments.executor import Executor, Job
+from repro.experiments.runner import Runner
+from repro.obs.manifest import sm_config_digest
+from repro.obs.spans import (
+    SPANS_SCHEMA,
+    SPANS_TRACE_SCHEMA,
+    SpanRecorder,
+    default_spans_name,
+    validate_spans,
+)
+from repro.obs.trace import validate_trace
+from repro.sm import SMConfig
+from repro.sm.serialize import result_to_dict
+
+BENCH = ("vectoradd", "scalarprod")
+
+
+class _FakeJob:
+    kind = "baseline"
+    benchmark = "x"
+
+    def describe(self):
+        return "baseline x"
+
+
+class TestRecorderUnit:
+    def test_phase_and_span_bookkeeping(self):
+        rec = SpanRecorder(command="unit")
+        submit = rec.phase_start("p1", workers=2)
+        rec.record_job(
+            job=_FakeJob(), index=0, submit=submit,
+            start=submit + 0.5, end=submit + 1.75, worker=42,
+        )
+        rec.phase_end()
+        payload = rec.to_payload()
+        assert payload["schema"] == SPANS_SCHEMA
+        assert not validate_spans(payload)
+        span = payload["spans"][0]
+        assert span["queued_seconds"] == pytest.approx(0.5)
+        assert span["seconds"] == pytest.approx(1.25)
+        assert span["status"] == "done"
+        assert span["worker"] == 42
+        assert payload["phases"][0]["label"] == "p1"
+        assert payload["phases"][0]["jobs"] == 1
+
+    def test_status_classification(self):
+        rec = SpanRecorder()
+        submit = rec.phase_start("p", workers=1)
+        common = dict(job=_FakeJob(), submit=submit, start=submit,
+                      end=submit + 1.0, worker=1)
+        err = rec.record_job(index=0, error="AllocationError: no", **common)
+        hit = rec.record_job(
+            index=1, cache={"trace_hits": 1, "trace_misses": 0}, **common
+        )
+        miss = rec.record_job(
+            index=2, cache={"trace_hits": 1, "trace_misses": 1}, **common
+        )
+        plain = rec.record_job(index=3, **common)
+        assert err.status == "expected-error"
+        assert hit.status == "cache-hit"
+        assert miss.status == "done"
+        assert plain.status == "done"
+
+    def test_validate_catches_time_disorder_and_bad_status(self):
+        rec = SpanRecorder()
+        submit = rec.phase_start("p", workers=1)
+        rec.record_job(job=_FakeJob(), index=0, submit=submit,
+                       start=submit, end=submit + 1.0, worker=1)
+        rec.phase_end()
+        payload = rec.to_payload()
+        payload["spans"][0]["start"] = payload["spans"][0]["submit"] - 1.0
+        payload["spans"][0]["status"] = "nonsense"
+        problems = validate_spans(payload)
+        assert any("not ordered" in p for p in problems)
+        assert any("unknown status" in p for p in problems)
+
+    def test_default_name_shape(self):
+        rec = SpanRecorder()
+        name = default_spans_name(rec.to_payload())
+        assert name.startswith("spans-")
+        assert name.endswith(".json")
+
+    def test_summary_rolls_up_phases_and_workers(self):
+        rec = SpanRecorder()
+        submit = rec.phase_start("p", workers=2)
+        for i, worker in enumerate((11, 12, 11)):
+            rec.record_job(job=_FakeJob(), index=i, submit=submit,
+                           start=submit + i, end=submit + i + 1.0,
+                           worker=worker)
+        rec.phase_end()
+        s = rec.summary()
+        assert s["jobs"] == 3
+        assert s["statuses"]["done"] == 3
+        assert s["phases"][0]["busy_seconds"] == pytest.approx(3.0)
+        assert s["phases"][0]["critical_seconds"] == pytest.approx(1.0)
+        by_worker = {w["worker"]: w["jobs"] for w in s["workers"]}
+        assert by_worker == {11: 2, 12: 1}
+        assert "3 jobs" in rec.format_summary()
+
+
+class TestExecutorIntegration:
+    def test_serial_spans_record_every_job(self):
+        rn = Runner("tiny")
+        rec = SpanRecorder(command="test serial")
+        ex = Executor(rn, jobs=1, spans=rec)
+        ex.prime([Job("baseline", b) for b in BENCH], label="serial")
+        payload = rec.to_payload()
+        assert not validate_spans(payload)
+        assert payload["jobs"] == len(BENCH)
+        for span in payload["spans"]:
+            assert span["phase"] == "serial"
+            assert span["worker"] == os.getpid()
+            assert span["config_digest"] == sm_config_digest(rn.config)
+            assert span["adopted"] == 0  # no shipping on the serial path
+
+    def test_forked_spans_record_workers_and_adoption(self):
+        rn = Runner("tiny")
+        rec = SpanRecorder()
+        ex = Executor(rn, jobs=2, spans=rec)
+        ex.prime([Job("baseline", b) for b in BENCH], label="forked")
+        payload = rec.to_payload()
+        assert not validate_spans(payload)
+        assert payload["jobs"] == len(BENCH)
+        workers = {s["worker"] for s in payload["spans"]}
+        assert os.getpid() not in workers  # jobs ran in forked children
+        assert all(s["adopted"] > 0 for s in payload["spans"])
+
+    def test_variant_jobs_carry_their_own_config_digest(self):
+        rn = Runner("tiny")
+        rec = SpanRecorder()
+        ex = Executor(rn, jobs=1, spans=rec)
+        variant = SMConfig(mshr_entries=4)
+        ex.prime([Job("baseline", "vectoradd", config=variant)], label="v")
+        span = rec.to_payload()["spans"][0]
+        assert span["config_digest"] == sm_config_digest(variant)
+        assert span["config_digest"] != sm_config_digest(rn.config)
+
+    def test_expected_error_span(self):
+        rec = SpanRecorder()
+        ex = Executor(Runner("tiny"), jobs=1, spans=rec)
+        ex.prime([Job("unified", "vectoradd", total_kb=8)], label="err")
+        span = rec.to_payload()["spans"][0]
+        assert span["status"] == "expected-error"
+        assert "AllocationError" in span["error"]
+
+    def test_warm_disk_cache_classifies_cache_hit(self, tmp_path):
+        jobs = [Job("baseline", "vectoradd")]
+        ex1 = Executor(Runner("tiny", cache=DiskCache(tmp_path)), jobs=1,
+                       spans=SpanRecorder())
+        ex1.prime(jobs, label="cold")
+        cold = ex1.spans.to_payload()["spans"][0]
+        assert sum(
+            v for k, v in cold["cache"].items() if k.endswith("_misses")
+        ) > 0
+        rec = SpanRecorder()
+        ex2 = Executor(Runner("tiny", cache=DiskCache(tmp_path)), jobs=1,
+                       spans=rec)
+        ex2.prime(jobs, label="warm")
+        warm = rec.to_payload()["spans"][0]
+        assert warm["status"] == "cache-hit"
+
+    def test_trace_payload_validates_and_carries_schema(self):
+        rec = SpanRecorder(command="trace test")
+        ex = Executor(Runner("tiny"), jobs=2, spans=rec)
+        ex.prime([Job("baseline", b) for b in BENCH], label="t")
+        payload = rec.trace_payload()
+        assert not validate_trace(payload)
+        assert payload["otherData"]["schema"] == SPANS_TRACE_SCHEMA
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert "t" in names  # the phase slice
+        assert any(n.startswith("baseline ") for n in names)  # job slices
+
+
+class TestFleetNeutrality:
+    """Spans must be cycle-neutral: same results with tracing on or off."""
+
+    def test_results_bit_identical_with_spans_on(self):
+        plain = Runner("tiny")
+        figure7.run(runner=plain, benchmarks=BENCH)
+        traced = Executor(Runner("tiny"), jobs=2, spans=SpanRecorder())
+        figure7.run(executor=traced, benchmarks=BENCH)
+        for name in BENCH:
+            a = result_to_dict(plain.baseline(name))
+            b = result_to_dict(traced.runner.baseline(name))
+            assert a == b
+            ua, _ = plain.unified(name, total_kb=384)
+            ub, _ = traced.runner.unified(name, total_kb=384)
+            assert result_to_dict(ua) == result_to_dict(ub)
+
+    def test_metrics_payload_byte_identical_across_jobs_and_spans(self):
+        blobs = []
+        for jobs, spans in ((1, None), (2, SpanRecorder()), (4, SpanRecorder())):
+            ex = Executor(Runner("tiny"), jobs=jobs, spans=spans)
+            figure7.run(executor=ex, benchmarks=BENCH)
+            blobs.append(
+                json.dumps(ex.runner.sim_metrics(), indent=2, sort_keys=True)
+            )
+        assert blobs[0] == blobs[1] == blobs[2]

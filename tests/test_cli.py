@@ -334,3 +334,145 @@ class TestAutotuneAndSweep:
             ["sweep", "dgemm", "--scale", "tiny", "--capacities", "16,384"]
         ) == 0
         assert "does not fit" in capsys.readouterr().out
+
+
+class TestSpansFlags:
+    def test_experiment_with_spans_writes_log_and_timeline(
+        self, capsys, tmp_path
+    ):
+        spans = tmp_path / "spans.json"
+        timeline = tmp_path / "sweep.trace.json"
+        cache = tmp_path / "cache"
+        assert main(
+            ["experiment", "figure7", "--scale", "tiny", "--jobs", "2",
+             "--spans-out", str(spans), "--spans-trace-out", str(timeline),
+             "--cache-dir", str(cache)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "[spans]" in err
+        from repro.obs.spans import validate_spans
+        from repro.obs import validate_trace
+
+        payload = json.loads(spans.read_text())
+        assert validate_spans(payload) == []
+        assert payload["phases"][0]["label"] == "figure7"
+        assert payload["command"].startswith("repro experiment figure7")
+        assert validate_trace(json.loads(timeline.read_text())) == []
+        # Also persisted next to the manifests, with an index.
+        stored = list((cache / "spans").glob("spans-*.json"))
+        assert len(stored) == 1
+        assert (cache / "spans" / "index.json").exists()
+
+    def test_spans_off_by_default(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(
+            ["experiment", "figure7", "--scale", "tiny",
+             "--cache-dir", str(cache)]
+        ) == 0
+        assert "[spans]" not in capsys.readouterr().err
+        assert not (cache / "spans").exists()
+
+    def test_metrics_identical_with_and_without_spans(self, capsys, tmp_path):
+        plain = tmp_path / "plain.json"
+        traced = tmp_path / "traced.json"
+        assert main(["experiment", "figure7", "--scale", "tiny",
+                     "--metrics-out", str(plain)]) == 0
+        assert main(["experiment", "figure7", "--scale", "tiny", "--spans",
+                     "--jobs", "2", "--metrics-out", str(traced)]) == 0
+        capsys.readouterr()
+        assert plain.read_bytes() == traced.read_bytes()
+
+
+class TestCompare:
+    def _metrics(self, tmp_path, name="m.json"):
+        path = tmp_path / name
+        assert main(["experiment", "figure7", "--scale", "tiny",
+                     "--metrics-out", str(path)]) == 0
+        return path
+
+    def test_self_compare_reports_zero_delta(self, capsys, tmp_path):
+        m = self._metrics(tmp_path)
+        capsys.readouterr()
+        diff_out = tmp_path / "d.json"
+        assert main(["compare", str(m), str(m), "--label-a", "base",
+                     "--label-b", "cand", "--json-out", str(diff_out)]) == 0
+        out = capsys.readouterr().out
+        assert "delta +0" in out
+        assert "speedup 1.000x" in out
+        diff = json.loads(diff_out.read_text())
+        assert diff["schema"] == "repro.obs.diff/1"
+        assert diff["cycles"]["delta"] == 0.0
+        assert diff["simulations"]["only_a"] == []
+
+    def test_profile_self_compare_reverifies_conservation(
+        self, capsys, tmp_path
+    ):
+        prof = tmp_path / "p.json"
+        assert main(["profile", "vectoradd", "--scale", "tiny", "--design",
+                     "baseline", "--profile-out", str(prof)]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(prof), str(prof)]) == 0
+        out = capsys.readouterr().out
+        assert "re-verified exactly" in out
+        assert "delta +0" in out
+
+    def test_conservation_violation_exits_one(self, capsys, tmp_path):
+        prof = tmp_path / "p.json"
+        assert main(["profile", "vectoradd", "--scale", "tiny", "--design",
+                     "baseline", "--profile-out", str(prof)]) == 0
+        payload = json.loads(prof.read_text())
+        payload["issue_cycles"] += 1.0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["compare", str(prof), str(bad)]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_mixed_kinds_exit_two(self, capsys, tmp_path):
+        m = self._metrics(tmp_path)
+        prof = tmp_path / "p.json"
+        assert main(["profile", "vectoradd", "--scale", "tiny", "--design",
+                     "baseline", "--profile-out", str(prof)]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(m), str(prof)]) == 2
+        assert "cannot diff" in capsys.readouterr().err
+
+    def test_unreadable_payload_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(SystemExit) as exc:
+            main(["compare", str(missing), str(missing)])
+        assert exc.value.code == 2
+        capsys.readouterr()
+
+    def test_chip_result_compare(self, capsys, tmp_path):
+        m = tmp_path / "chip.json"
+        assert main(["chip", "matrixmul", "--scale", "tiny", "--sms", "2",
+                     "--metrics-out", str(m), "-q"]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(m), str(m)]) == 0
+        assert "speedup 1.000x" in capsys.readouterr().out
+
+
+class TestTraceCompare:
+    def test_pivots_two_traces(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        for path in (a, b):
+            assert main(["trace", "vectoradd", "--scale", "tiny", "--design",
+                         "baseline", "--out", str(path)]) == 0
+        out_path = tmp_path / "pivot.json"
+        capsys.readouterr()
+        assert main(["trace", "--compare", str(a), str(b),
+                     "--out", str(out_path)]) == 0
+        assert "pivoted" in capsys.readouterr().out
+        from repro.obs import validate_trace
+
+        pivot = json.loads(out_path.read_text())
+        assert validate_trace(pivot) == []
+        assert pivot["otherData"]["schema"] == "repro.obs.trace.pivot/1"
+
+    def test_no_benchmark_and_no_compare_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace"])
+        assert exc.value.code == 2
+        capsys.readouterr()
