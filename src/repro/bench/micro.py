@@ -142,21 +142,46 @@ def bench_simulate(scale: str, repeats: int) -> list[BenchEntry]:
     is the common case inside a capacity sweep.  ``seconds`` is the
     best run; the ``runs`` list keeps the cold time visible.
     """
+    from dataclasses import replace
+
     from repro.core import partitioned_baseline
     from repro.experiments.runner import Runner
     from repro.sm.simulator import simulate
 
     rn = Runner(scale)
     baseline = partitioned_baseline()
+    # The un-suffixed entries run whatever engine the default SMConfig
+    # selects (columnar since the replay engine landed); the explicit
+    # ``.columnar`` / ``.event`` pair pins each engine so the replayer's
+    # advantage -- and any event-loop regression -- stays measured even
+    # if the default moves again.
+    col_cfg = replace(rn.config, engine="columnar")
+    ev_cfg = replace(rn.config, engine="event")
     entries: list[BenchEntry] = []
     for name in SIM_KERNELS:
         ck = rn.compiled(name)
+        # Defeat the tiered warm-up: the seam routes a kernel's first
+        # uninstrumented sim to the event core, and the ``.columnar``
+        # entry must time the replayer even at --repeats 1.
+        ck._plan_cache[("colwarm", col_cfg.cache_line_bytes)] = True
 
         def run_base(ck=ck):
             r = simulate(ck, baseline, rn.config)
             return {"cycles": r.cycles, "instructions": r.instructions}
 
         entries.append(timed(f"sim.{name}.baseline", run_base, repeats))
+
+        def run_col(ck=ck):
+            r = simulate(ck, baseline, col_cfg)
+            return {"cycles": r.cycles, "instructions": r.instructions}
+
+        entries.append(timed(f"sim.{name}.columnar", run_col, repeats))
+
+        def run_ev(ck=ck):
+            r = simulate(ck, baseline, ev_cfg)
+            return {"cycles": r.cycles, "instructions": r.instructions}
+
+        entries.append(timed(f"sim.{name}.event", run_ev, repeats))
         try:
             uni = rn.allocation(name).partition
         except Exception:
@@ -171,8 +196,6 @@ def bench_simulate(scale: str, repeats: int) -> list[BenchEntry]:
     # One non-blocking point: the MSHR + banked-DRAM hot-loop arm has its
     # own cost profile (per-segment MSHR lookups, row decode), so time it
     # separately from the blocking baseline it must not slow down.
-    from dataclasses import replace
-
     nb_cfg = replace(
         rn.config, mshr_entries=16, dram_banks=8, dram_row_hit_latency=160
     )

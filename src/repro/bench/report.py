@@ -70,16 +70,27 @@ def timed(bench_id: str, fn, repeats: int = 3, meta: dict | None = None) -> Benc
     Returns:
         The timed entry with ``seconds = min(runs)``.
     """
+    import gc
     import time
 
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     merged = dict(meta or {})
     runs: list[float] = []
+    # Collector pauses land on whichever run they please, so they are
+    # pure noise for a min-of-N estimator; park the collector while the
+    # clock runs (standard pyperf practice) and sweep between runs.
+    was_enabled = gc.isenabled()
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        out = fn()
-        runs.append(time.perf_counter() - t0)
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            out = fn()
+            runs.append(time.perf_counter() - t0)
+        finally:
+            if was_enabled:
+                gc.enable()
         if isinstance(out, dict):
             merged.update(out)
     return BenchEntry(id=bench_id, seconds=min(runs), runs=runs, meta=merged)
@@ -244,12 +255,20 @@ NOISE_FLOOR_SECONDS = 0.01
 
 @dataclass(slots=True)
 class CompareReport:
-    """Outcome of :func:`compare_payloads`."""
+    """Outcome of :func:`compare_payloads`.
+
+    ``only_old`` / ``only_new`` are ``(id, seconds)`` pairs for the
+    benchmarks present on just one side.  They are *excluded* from the
+    regression verdict (there is nothing to compare against), but they
+    are never silent: :meth:`format` prints them as dedicated removed/
+    added sections so a renamed or dropped benchmark cannot slip
+    through a green compare unnoticed.
+    """
 
     rows: list[CompareRow]
     threshold: float
-    only_old: list[str]
-    only_new: list[str]
+    only_old: list[tuple[str, float]]
+    only_new: list[tuple[str, float]]
 
     @property
     def regressions(self) -> list[CompareRow]:
@@ -279,16 +298,35 @@ class CompareReport:
                 f"{r.id:<34} {r.old_seconds:>10.4f} {r.new_seconds:>10.4f} "
                 f"{r.ratio:>7.3f}{flag}"
             )
-        for bench_id in self.only_old:
-            lines.append(f"{bench_id:<34} (missing from new payload)")
-        for bench_id in self.only_new:
-            lines.append(f"{bench_id:<34} (new benchmark, no baseline)")
+        if self.only_old:
+            lines.append("")
+            lines.append(
+                f"removed ({len(self.only_old)} benchmark(s) in the baseline "
+                "only, not compared):"
+            )
+            for bench_id, seconds in self.only_old:
+                lines.append(f"  {bench_id:<32} {seconds:>10.4f}")
+        if self.only_new:
+            lines.append("")
+            lines.append(
+                f"added ({len(self.only_new)} benchmark(s) with no baseline "
+                "entry, not compared):"
+            )
+            for bench_id, seconds in self.only_new:
+                lines.append(f"  {bench_id:<32} {seconds:>10.4f}")
+        if self.only_old or self.only_new:
+            lines.append("")
         verdict = (
             "OK: no benchmark slowed past "
             if self.ok
             else f"FAIL: {len(self.regressions)} benchmark(s) slowed past "
         )
         lines.append(f"{verdict}{self.threshold:.2f}x")
+        if self.only_old or self.only_new:
+            lines.append(
+                f"note: {len(self.only_new)} added / {len(self.only_old)} "
+                "removed id(s) excluded from the regression check (see above)"
+            )
         return "\n".join(lines)
 
 
@@ -302,8 +340,9 @@ def compare_payloads(old: dict, new: dict, threshold: float = 1.15) -> CompareRe
             above it count as regressions (``ok`` becomes False).
 
     Returns:
-        A report with one row per id present in both payloads, plus the
-        ids unique to either side (never counted as regressions).
+        A report with one row per id present in both payloads, plus
+        ``(id, seconds)`` pairs for ids unique to either side (reported
+        as removed/added sections, never counted as regressions).
     """
     if threshold <= 0:
         raise ValueError("threshold must be positive")
@@ -317,8 +356,14 @@ def compare_payloads(old: dict, new: dict, threshold: float = 1.15) -> CompareRe
     return CompareReport(
         rows=rows,
         threshold=threshold,
-        only_old=sorted(old_by_id.keys() - new_by_id.keys()),
-        only_new=sorted(new_by_id.keys() - old_by_id.keys()),
+        only_old=[
+            (i, old_by_id[i]["seconds"])
+            for i in sorted(old_by_id.keys() - new_by_id.keys())
+        ],
+        only_new=[
+            (i, new_by_id[i]["seconds"])
+            for i in sorted(new_by_id.keys() - old_by_id.keys())
+        ],
     )
 
 

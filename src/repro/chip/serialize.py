@@ -39,7 +39,13 @@ def chip_config_to_dict(chip: ChipConfig) -> dict:
     for f in fields(ChipConfig):
         value = getattr(chip, f.name)
         if f.name == "sm":
-            value = {g.name: getattr(value, g.name) for g in fields(SMConfig)}
+            # engine is timing-neutral and deliberately left out, so
+            # payloads stay comparable across engine defaults.
+            value = {
+                g.name: getattr(value, g.name)
+                for g in fields(SMConfig)
+                if g.name != "engine"
+            }
         d[f.name] = value
     return d
 
@@ -50,7 +56,13 @@ def chip_config_from_dict(d: dict) -> ChipConfig:
     for f in fields(ChipConfig):
         value = d[f.name]
         if f.name == "sm":
-            value = SMConfig(**{g.name: value[g.name] for g in fields(SMConfig)})
+            # Tolerate absent fields so payloads written before a
+            # default-valued field (e.g. engine) existed still load.
+            value = SMConfig(**{
+                g.name: value[g.name]
+                for g in fields(SMConfig)
+                if g.name in value
+            })
         kwargs[f.name] = value
     return ChipConfig(**kwargs)
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.chip.config import ChipConfig
 from repro.chip.dispatch import CTADispatcher
 from repro.chip.result import ChipResult
+from repro.compiler.columnar import N_TOTALS, cta_plan
 from repro.compiler.compiled import CompiledKernel, CompiledOp
 from repro.compiler.precompute import (
     K_BARRIER,
@@ -47,6 +48,7 @@ from repro.obs.collector import (
     CAUSE_RAW,
 )
 from repro.sm.cta_scheduler import CTAScheduler
+from repro.sm.replay import _ColWarp, _release_key, make_warp_runner
 from repro.sm.result import EnergyCounts, SimResult
 from repro.sm.simulator import SimulationError
 
@@ -168,128 +170,13 @@ def _tee_channel_observer(sm_hook, chip_hook, channel: int):
     return tee
 
 
-def simulate_chip(
-    kernel: CompiledKernel,
-    partition: MemoryPartition,
-    chip: ChipConfig | None = None,
-    thread_target: int | None = None,
-    collectors=None,
-    chip_collector=None,
-) -> ChipResult:
-    """Run one kernel launch across every SM of a chip.
+def _run_chip_event(kernel, sm_cfg, cores, dispatcher, chip_obs) -> None:
+    """Interpretive main loop: the single-SM hot loop over N cores.
 
-    CTAs are distributed GigaThread-style by a shared
-    :class:`~repro.chip.dispatch.CTADispatcher` (grid order, to whichever
-    SM frees a residency slot first); DRAM requests either share the
-    chip's arbitrated channels or, when ``chip.dram_partitioned``, go to
-    private per-SM slices -- the paper's methodology.
-
-    Args:
-        kernel: Compiled kernel; the *whole* grid is one launch, however
-            many SMs share it.
-        partition: Memory split every SM runs under.
-        chip: Chip shape and DRAM model; defaults to the paper's 32-SM,
-            256 B/cycle chip with shared channels.
-        thread_target: Per-SM resident-thread cap (as in
-            :func:`repro.sm.simulate`).
-        collectors: Optional list of per-SM observability collectors,
-            one per SM (``None`` entries allowed).  Each SM's collector
-            sees only that SM's events; all are finished at the chip
-            makespan so per-SM stall attribution conserves against chip
-            time.
-        chip_collector: Optional
-            :class:`~repro.obs.chip.ChipCollector`; its per-SM
-            collectors become the ``collectors`` list, its DRAM hook
-            rides the channel observer, and its dispatcher tap records
-            every CTA hand-out and retirement.  Mutually exclusive with
-            ``collectors``.
-
-    Returns:
-        A :class:`~repro.chip.result.ChipResult` holding one measured
-        :class:`~repro.sm.result.SimResult` per SM plus chip aggregates.
+    This is the original chip event loop, verbatim; `simulate_chip`
+    routes here whenever observability is attached or the SM engine is
+    pinned to ``"event"``.
     """
-    cfg = chip or ChipConfig()
-    sm_cfg = cfg.sm
-    n = cfg.num_sms
-    chip_obs = (
-        chip_collector
-        if chip_collector is not None and chip_collector.enabled
-        else None
-    )
-    if chip_obs is not None:
-        if collectors is not None:
-            raise ValueError("pass either collectors or chip_collector, not both")
-        if chip_obs.num_sms != n:
-            raise ValueError(
-                f"chip_collector shaped for {chip_obs.num_sms} SMs, chip has {n}"
-            )
-        expected_channels = n if cfg.dram_partitioned else cfg.dram_channels
-        if chip_obs.num_channels != expected_channels:
-            raise ValueError(
-                f"chip_collector shaped for {chip_obs.num_channels} DRAM "
-                f"channels, chip has {expected_channels}"
-            )
-        collectors = chip_obs.collectors
-    if collectors is None:
-        collectors = [None] * n
-    if len(collectors) != n:
-        raise ValueError(f"need {n} collectors (one per SM), got {len(collectors)}")
-
-    dispatcher = CTADispatcher(len(kernel.ctas), n)
-    system = None
-    if not cfg.dram_partitioned:
-        system = DRAMSystem(
-            bytes_per_cycle=cfg.dram_bytes_per_cycle,
-            channels=cfg.dram_channels,
-            latency=sm_cfg.dram_latency,
-            transaction_bytes=sm_cfg.dram_transaction_bytes,
-            channel_observer=(
-                chip_obs.dram_channel_transfer if chip_obs is not None else None
-            ),
-            banks=sm_cfg.dram_banks,
-            row_bytes=sm_cfg.dram_row_bytes,
-            row_hit_latency=sm_cfg.dram_row_hit_latency,
-        )
-
-    cores: list[_SMCore] = []
-    for i in range(n):
-        obs = collectors[i] if collectors[i] is not None and collectors[i].enabled else None
-        hook = obs.dram_transfer if obs is not None else None
-        if system is not None:
-            dram = system.port(i, observer=hook)
-        else:
-            if chip_obs is not None:
-                hook = _tee_channel_observer(hook, chip_obs.dram_channel_transfer, i)
-            dram = DRAMChannel(
-                bytes_per_cycle=cfg.sm_bandwidth_slice,
-                latency=sm_cfg.dram_latency,
-                transaction_bytes=sm_cfg.dram_transaction_bytes,
-                observer=hook,
-                banks=sm_cfg.dram_banks,
-                row_bytes=sm_cfg.dram_row_bytes,
-                row_hit_latency=sm_cfg.dram_row_hit_latency,
-            )
-        cores.append(
-            _SMCore(
-                index=i,
-                scheduler=CTAScheduler(
-                    kernel, partition, thread_target, cta_source=dispatcher.port(i)
-                ),
-                banks=make_bank_model(partition, cluster_port=sm_cfg.cluster_port_banks),
-                cache=DataCache(
-                    partition.cache_bytes,
-                    assoc=sm_cfg.cache_assoc,
-                    line_bytes=sm_cfg.cache_line_bytes,
-                    # Unified-allocator remainders round down explicitly
-                    # (slack stays visible on cache.slack_bytes).
-                    misaligned="floor",
-                ),
-                dram=dram,
-                mshr=sm_cfg.make_mshr_file(),
-                obs=obs,
-            )
-        )
-
     line_bytes = sm_cfg.cache_line_bytes
     plans_k = plan_kernel(kernel, line_bytes)
 
@@ -585,6 +472,279 @@ def simulate_chip(
             core.live_ctas -= 1
             if spawn_cta(core, issue_done):
                 core.live_ctas += 1
+
+
+def _run_chip_columnar(kernel, sm_cfg, cores, dispatcher) -> None:
+    """Columnar replay main loop: same interleaving, compiled rows.
+
+    One global heap of ``(ready, seq, warp)`` entries keyed exactly as
+    the event loop keys them; each popped warp replays on its owning
+    core's :func:`repro.sm.replay.make_warp_runner` closure while its
+    next ready time stays strictly below the earliest other entry, so
+    the chip-wide issue order is unchanged.  Static per-CTA totals are
+    folded into the core counters once at the end, and ``state()``
+    flushes each runner's inlined cache/DRAM counters back into the
+    model objects the shared epilogue reads.
+    """
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    barrier_latency = sm_cfg.barrier_latency
+    runners = []
+    states = []
+    spawned: list[list] = []
+    for core in cores:
+        run, state = make_warp_runner(sm_cfg, core.cache, core.dram, core.mshr)
+        runners.append(run)
+        states.append(state)
+        spawned.append([])
+
+    heap: list = []
+    seq = 0
+
+    def spawn_cta(core, now: float) -> bool:
+        nonlocal seq
+        resident = core.scheduler.launch_next()
+        if resident is None:
+            return False
+        progs, ctot = cta_plan(
+            kernel,
+            core.banks,
+            resident.shared_base,
+            sm_cfg,
+            core.cache.enabled,
+            resident.index,
+        )
+        for prog in progs:
+            w = _ColWarp(prog, resident, core)
+            heappush(heap, (now, seq, w))
+            seq += 1
+        spawned[core.index].append(ctot)
+        return True
+
+    # Breadth-first initial fill, as in the event loop.
+    progress = True
+    while progress:
+        progress = False
+        for core in cores:
+            if core.live_ctas < core.scheduler.max_concurrent and spawn_cta(core, 0.0):
+                core.live_ctas += 1
+                progress = True
+
+    INF = float("inf")
+    while heap:
+        ready, _, w = heappop(heap)
+        core = w.core
+        limit = heap[0][0] if heap else INF
+        code, value = runners[core.index](w, ready, limit)
+        if code == 0:
+            # Yield: overtaken by the earliest other warp; re-key.
+            heappush(heap, (value, seq, w))
+            seq += 1
+            continue
+        if code == 2:
+            # Warp drained at cycle ``value``.
+            cta = w.cta
+            cta.warps_outstanding -= 1
+            if cta.warps_outstanding == 0:
+                if cta.waiting_warps:
+                    raise SimulationError(
+                        f"CTA {cta.index} finished with warps still at a barrier"
+                    )
+                core.scheduler.retire(cta)
+                core.live_ctas -= 1
+                if spawn_cta(core, value):
+                    core.live_ctas += 1
+            continue
+        # Barrier arrival at cycle ``value``.
+        cta = w.cta
+        cta.barrier_count += 1
+        if cta.barrier_count == cta.warps_outstanding:
+            cta.barrier_count = 0
+            waiting = cta.waiting_warps
+            cta.waiting_warps = []
+            release = value + 1 + barrier_latency
+            for other in (*waiting, w):
+                if other.pc < other.n_ops:
+                    heappush(heap, (_release_key(other, release), seq, other))
+                    seq += 1
+                else:
+                    cta.warps_outstanding -= 1
+            if cta.warps_outstanding == 0:
+                core.scheduler.retire(cta)
+                core.live_ctas -= 1
+                if spawn_cta(core, release):
+                    core.live_ctas += 1
+        else:
+            cta.waiting_warps.append(w)
+
+    # Fold the spawn-time static totals into each core's counters and
+    # flush runner state so the epilogue reads live model objects.
+    for core in cores:
+        rows = spawned[core.index]
+        if rows:
+            totals = [sum(col) for col in zip(*rows)]
+        else:
+            totals = [0] * N_TOTALS
+        (
+            core.instructions,
+            core.conflict_cycles,
+            core.arb_total,
+            h0,
+            h1,
+            h2,
+            h3,
+            h4,
+            core.mrf_reads,
+            core.mrf_writes,
+            core.orf_reads,
+            core.orf_writes,
+            core.lrf_reads,
+            core.lrf_writes,
+            core.shared_row_reads,
+            core.shared_row_writes,
+            core.cache_row_reads,
+            core.cache_row_writes,
+            core.tag_lookups,
+        ) = totals
+        core.hist = [h0, h1, h2, h3, h4]
+        core.issued_until, core.mem_port_free = states[core.index]()
+
+
+def simulate_chip(
+    kernel: CompiledKernel,
+    partition: MemoryPartition,
+    chip: ChipConfig | None = None,
+    thread_target: int | None = None,
+    collectors=None,
+    chip_collector=None,
+) -> ChipResult:
+    """Run one kernel launch across every SM of a chip.
+
+    CTAs are distributed GigaThread-style by a shared
+    :class:`~repro.chip.dispatch.CTADispatcher` (grid order, to whichever
+    SM frees a residency slot first); DRAM requests either share the
+    chip's arbitrated channels or, when ``chip.dram_partitioned``, go to
+    private per-SM slices -- the paper's methodology.
+
+    Args:
+        kernel: Compiled kernel; the *whole* grid is one launch, however
+            many SMs share it.
+        partition: Memory split every SM runs under.
+        chip: Chip shape and DRAM model; defaults to the paper's 32-SM,
+            256 B/cycle chip with shared channels.
+        thread_target: Per-SM resident-thread cap (as in
+            :func:`repro.sm.simulate`).
+        collectors: Optional list of per-SM observability collectors,
+            one per SM (``None`` entries allowed).  Each SM's collector
+            sees only that SM's events; all are finished at the chip
+            makespan so per-SM stall attribution conserves against chip
+            time.
+        chip_collector: Optional
+            :class:`~repro.obs.chip.ChipCollector`; its per-SM
+            collectors become the ``collectors`` list, its DRAM hook
+            rides the channel observer, and its dispatcher tap records
+            every CTA hand-out and retirement.  Mutually exclusive with
+            ``collectors``.
+
+    Returns:
+        A :class:`~repro.chip.result.ChipResult` holding one measured
+        :class:`~repro.sm.result.SimResult` per SM plus chip aggregates.
+    """
+    cfg = chip or ChipConfig()
+    sm_cfg = cfg.sm
+    n = cfg.num_sms
+    chip_obs = (
+        chip_collector
+        if chip_collector is not None and chip_collector.enabled
+        else None
+    )
+    if chip_obs is not None:
+        if collectors is not None:
+            raise ValueError("pass either collectors or chip_collector, not both")
+        if chip_obs.num_sms != n:
+            raise ValueError(
+                f"chip_collector shaped for {chip_obs.num_sms} SMs, chip has {n}"
+            )
+        expected_channels = n if cfg.dram_partitioned else cfg.dram_channels
+        if chip_obs.num_channels != expected_channels:
+            raise ValueError(
+                f"chip_collector shaped for {chip_obs.num_channels} DRAM "
+                f"channels, chip has {expected_channels}"
+            )
+        collectors = chip_obs.collectors
+    if collectors is None:
+        collectors = [None] * n
+    if len(collectors) != n:
+        raise ValueError(f"need {n} collectors (one per SM), got {len(collectors)}")
+
+    dispatcher = CTADispatcher(len(kernel.ctas), n)
+    system = None
+    if not cfg.dram_partitioned:
+        system = DRAMSystem(
+            bytes_per_cycle=cfg.dram_bytes_per_cycle,
+            channels=cfg.dram_channels,
+            latency=sm_cfg.dram_latency,
+            transaction_bytes=sm_cfg.dram_transaction_bytes,
+            channel_observer=(
+                chip_obs.dram_channel_transfer if chip_obs is not None else None
+            ),
+            banks=sm_cfg.dram_banks,
+            row_bytes=sm_cfg.dram_row_bytes,
+            row_hit_latency=sm_cfg.dram_row_hit_latency,
+        )
+
+    cores: list[_SMCore] = []
+    for i in range(n):
+        obs = collectors[i] if collectors[i] is not None and collectors[i].enabled else None
+        hook = obs.dram_transfer if obs is not None else None
+        if system is not None:
+            dram = system.port(i, observer=hook)
+        else:
+            if chip_obs is not None:
+                hook = _tee_channel_observer(hook, chip_obs.dram_channel_transfer, i)
+            dram = DRAMChannel(
+                bytes_per_cycle=cfg.sm_bandwidth_slice,
+                latency=sm_cfg.dram_latency,
+                transaction_bytes=sm_cfg.dram_transaction_bytes,
+                observer=hook,
+                banks=sm_cfg.dram_banks,
+                row_bytes=sm_cfg.dram_row_bytes,
+                row_hit_latency=sm_cfg.dram_row_hit_latency,
+            )
+        cores.append(
+            _SMCore(
+                index=i,
+                scheduler=CTAScheduler(
+                    kernel, partition, thread_target, cta_source=dispatcher.port(i)
+                ),
+                banks=make_bank_model(partition, cluster_port=sm_cfg.cluster_port_banks),
+                cache=DataCache(
+                    partition.cache_bytes,
+                    assoc=sm_cfg.cache_assoc,
+                    line_bytes=sm_cfg.cache_line_bytes,
+                    # Unified-allocator remainders round down explicitly
+                    # (slack stays visible on cache.slack_bytes).
+                    misaligned="floor",
+                ),
+                dram=dram,
+                mshr=sm_cfg.make_mshr_file(),
+                obs=obs,
+            )
+        )
+
+    if (
+        sm_cfg.engine == "columnar"
+        and chip_obs is None
+        and all(core.obs is None for core in cores)
+    ):
+        # No tiered warm-up at chip scope: one chip simulation runs the
+        # kernel on every SM, so lowering amortises within the run.
+        # Mark the kernel warm so later single-SM sims replay directly.
+        kernel._plan_cache[("colwarm", sm_cfg.cache_line_bytes)] = True
+        _run_chip_columnar(kernel, sm_cfg, cores, dispatcher)
+    else:
+        _run_chip_event(kernel, sm_cfg, cores, dispatcher, chip_obs)
+
 
     if dispatcher.remaining:
         raise SimulationError(f"{dispatcher.remaining} CTAs were never dispatched")

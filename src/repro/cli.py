@@ -146,7 +146,22 @@ def _sm_config(args: argparse.Namespace):
         dram_banks=getattr(args, "dram_banks", 1),
         dram_row_bytes=getattr(args, "dram_row_bytes", 2048),
         dram_row_hit_latency=getattr(args, "dram_row_hit_latency", None),
+        engine=getattr(args, "engine", "columnar"),
     )
+
+
+def _note_engine_fallback(args: argparse.Namespace) -> None:
+    """Tell the user an instrumented run left the columnar engine.
+
+    ``profile``/``trace`` attach collectors, and the dispatch seams in
+    :func:`repro.sm.simulate` / :func:`repro.chip.simulate_chip` fall
+    back to the per-op event engine whenever observability is live (the
+    columnar replayer has no per-op hooks).  Results are bit-identical;
+    only wall-clock differs -- but the fallback should never be silent.
+    """
+    if getattr(args, "engine", "columnar") == "columnar":
+        log.info("observability attached: columnar engine falls back to "
+                 "the event engine for this run (results are bit-identical)")
 
 
 def _make_executor(args: argparse.Namespace):
@@ -285,6 +300,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="latency of a request hitting a bank's open "
                             "row (default: the full DRAM latency, i.e. "
                             "row buffers never help)")
+        _add_engine_flag(p)
+
+    def _add_engine_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--engine", choices=("columnar", "event"),
+                       default="columnar",
+                       help="warp-step engine: 'columnar' replays "
+                            "precompiled plans (default, fastest), "
+                            "'event' is the per-op interpreter; results "
+                            "are bit-identical.  Instrumented commands "
+                            "(profile/trace, --profile) always run on "
+                            "the event engine")
 
     run = sub.add_parser("run", help="simulate one benchmark", parents=[common])
     _add_design_flags(run)
@@ -353,6 +379,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write a Perfetto-compatible warp trace")
     _add_design_flags(tr, benchmark_optional=True)
     _add_chip_flags(tr)
+    _add_engine_flag(tr)
     tr.add_argument("--out", default=None, metavar="PATH",
                     help="trace file path (default <benchmark>.trace.json)")
     tr.add_argument("--max-events", type=_positive_int, default=1_000_000,
@@ -412,10 +439,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bn = sub.add_parser("bench", parents=[common],
                         help="performance benchmarks (BENCH_*.json)")
     bn.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
-    bn.add_argument("--repeats", type=_positive_int, default=3,
-                    help="runs per microbenchmark, best kept (default 3)")
+    bn.add_argument("--repeats", type=_positive_int, default=None,
+                    help="runs per microbenchmark, best kept (default 3; "
+                         "5 under --update-baseline)")
     bn.add_argument("--out", default=None, metavar="PATH",
                     help="payload path (default BENCH_<date>.json in cwd)")
+    bn.add_argument("--update-baseline", action="store_true",
+                    help="bless this run as the committed baseline: write "
+                         "BENCH_<date>.json in the cwd with full provenance "
+                         "(git sha, interpreter, machine) and higher default "
+                         "repeats; incompatible with --out")
     bn.add_argument("--only", default=None, metavar="PREFIXES",
                     help="comma-separated benchmark-id prefixes to run "
                          "(e.g. 'micro.banks,sim'); default: everything")
@@ -587,6 +620,7 @@ def _cmd_chip(args: argparse.Namespace) -> int:
     if args.profile:
         from repro.obs import ChipCollector
 
+        _note_engine_fallback(args)
         cc = ChipCollector.for_chip(chip)
     t0 = time.perf_counter()
     cr = rn.simulate_chip(
@@ -732,6 +766,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs import STALL_CAUSES, write_trace
 
     window = args.window if args.metrics_out else 0
+    _note_engine_fallback(args)
     if _chip_mode(args):
         return _cmd_profile_chip(args, window)
     result, col = _instrumented_run(args, window, bool(args.trace_out))
@@ -862,6 +897,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         log.error("trace needs a BENCHMARK to simulate, or --compare A B "
                   "to pivot two existing trace files")
         raise SystemExit(2)
+    _note_engine_fallback(args)
     if _chip_mode(args):
         cr, cc = _instrumented_chip_run(args, 0, True,
                                         max_trace_events=args.max_events)
@@ -1128,6 +1164,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.micro import run_micro
     from repro.bench.suite import run_suite
 
+    if args.update_baseline and args.out:
+        log.error("--update-baseline writes BENCH_<date>.json; drop --out")
+        return 2
+    # A blessed baseline is read by every future compare, so it gets
+    # more repeats than an ad-hoc run (min-of-N tightens with N).
+    repeats = args.repeats or (5 if args.update_baseline else 3)
     prefixes = (
         tuple(p.strip() for p in args.only.split(",") if p.strip())
         if args.only else None
@@ -1136,7 +1178,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     def selected(bench_id: str) -> bool:
         return prefixes is None or any(bench_id.startswith(p) for p in prefixes)
 
-    entries = [e for e in run_micro(args.scale, args.repeats) if selected(e.id)]
+    entries = [e for e in run_micro(args.scale, repeats) if selected(e.id)]
     run_suite_bench = not args.no_suite and (
         prefixes is None or any(p.startswith("suite") for p in prefixes)
     )
@@ -1147,11 +1189,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not entries:
         log.error("--only %r selects no benchmarks", args.only)
         return 2
-    payload = report.make_payload(entries, scale=args.scale, repeats=args.repeats)
+    payload = report.make_payload(entries, scale=args.scale, repeats=repeats)
     out = report.write_payload(payload, args.out or report.default_path())
     for e in sorted(entries, key=lambda e: e.id):
         print(f"{e.id:<34} {e.seconds:>10.4f} s")
     print(f"wrote {len(entries)} benchmarks to {out}")
+    if args.update_baseline:
+        prov = payload["provenance"]
+        print(f"new baseline: {out} "
+              f"(git {prov.get('git_sha', 'unknown')[:12]}, "
+              f"python {prov['python']}, repeats {repeats}) -- commit it and "
+              "point CI/--compare at it")
     return 0
 
 

@@ -136,8 +136,17 @@ def _partition_key(p: MemoryPartition) -> tuple:
 
 
 def config_fingerprint(config: SMConfig) -> tuple:
-    """Stable, hashable, JSON-compatible rendering of an SMConfig."""
-    return tuple((f.name, getattr(config, f.name)) for f in fields(SMConfig))
+    """Stable, hashable, JSON-compatible rendering of an SMConfig.
+
+    ``engine`` is excluded: the columnar and event engines are
+    bit-identical by contract, so the choice must not invalidate
+    cached results or split otherwise-equal sweeps.
+    """
+    return tuple(
+        (f.name, getattr(config, f.name))
+        for f in fields(SMConfig)
+        if f.name != "engine"
+    )
 
 
 def _raise_expected(record: tuple[str, str]) -> None:

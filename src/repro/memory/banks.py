@@ -242,6 +242,17 @@ class PartitionedBanks:
         penalty, bucket, rows = pl.part_mem
         return penalty, bucket, rows, 0
 
+    def plan_key(self, shared_base: int):
+        """Everything a CTA's bank outcomes depend on beyond the plans.
+
+        Identical to the :meth:`planned_shared` memo key (global
+        outcomes are partition-independent here), so two CTA bases with
+        equal keys resolve every access identically -- the columnar
+        compiler keys whole warp programs on this.
+        """
+        sw = self.shared_bank_width
+        return ("P", shared_base % 128) if sw == 4 else ("P", sw, shared_base)
+
 
 class UnifiedBanks:
     """Conflict model for the unified design (Sections 4.2-4.3).
@@ -455,6 +466,16 @@ class UnifiedBanks:
             cached = (penalty, _hist_bucket(max_bank), rows, arb)
             pl.uni_mem = cached
         return cached
+
+    def plan_key(self, shared_base: int):
+        """Everything a CTA's bank outcomes depend on beyond the plans.
+
+        Matches the :meth:`planned_shared` memo key -- the model tag
+        distinguishes the cluster-port ablation, and the effective base
+        modulo the 512-byte bank pattern period pins the shared
+        outcomes; global outcomes are partition-independent.
+        """
+        return (self._plan_tag, (self.shared_region_base + shared_base) % 512)
 
 
 class ClusterPortUnifiedBanks(UnifiedBanks):

@@ -60,6 +60,16 @@ class SMConfig:
     #: the full ``dram_latency`` (row buffers modeled but never faster,
     #: i.e. disabled).
     dram_row_hit_latency: int | None = None
+    #: Simulation engine: ``"columnar"`` (default) replays precompiled
+    #: columnar warp programs (:mod:`repro.sm.replay`); ``"event"`` is
+    #: the legacy per-op event loop.  The two are bit-identical --
+    #: every SimResult field matches exactly (differential tests pin
+    #: this) -- so the flag never changes simulated numbers, only
+    #: wall-clock.  Instrumented runs (profile/trace collectors) fall
+    #: back to the event engine transparently.  Being timing-neutral,
+    #: the field is excluded from experiment/chip config fingerprints
+    #: and serialized payloads.
+    engine: str = "columnar"
 
     @property
     def non_blocking(self) -> bool:
@@ -122,4 +132,8 @@ class SMConfig:
         ):
             raise ValueError(
                 "dram_row_hit_latency must lie within [0, dram_latency]"
+            )
+        if self.engine not in ("event", "columnar"):
+            raise ValueError(
+                f"engine must be 'event' or 'columnar', got {self.engine!r}"
             )

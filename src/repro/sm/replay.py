@@ -1,0 +1,850 @@
+"""Columnar replay engine: the ``engine="columnar"`` simulation core.
+
+The event engine (:mod:`repro.sm.simulator`) visits one op per heap
+pop, re-deriving dispatch, bank outcomes, dependences, and a dozen
+counters from Python object graphs each time; this core *replays* the
+columnar warp programs built by :mod:`repro.compiler.columnar`.  Each
+dynamic instruction costs one fused-row unpack, a few float adds, and
+(for memory ops) the cache/DRAM/MSHR calls that are the model itself.
+Counters never appear in the hot loop -- they were summed per warp at
+compile time and are added once at CTA spawn.  Warps also execute in
+**run batches**: a popped warp keeps stepping inline while its next
+ready time stays strictly below the earliest other heap entry, so
+dependence-limited phases skip heap traffic entirely.
+
+Bit-identity with the event engine follows from three facts:
+
+* **Batching is a no-op.** After the event engine processes an op at
+  time ``t`` it pushes the warp back keyed ``nr`` with a sequence
+  number larger than every other heap entry's, so the warp pops next
+  iff ``nr`` is *strictly* below the minimum other key -- in which
+  case the pop returns exactly ``(nr, w)`` and nothing else ran in
+  between.  Replaying those ops inline under ``nr < limit`` (where
+  ``limit`` is the heap minimum after the pop, which nothing can
+  change during the run) performs the same state updates in the same
+  order on the same timestamps.
+* **The dependency columns are the pending dict.** The event engine's
+  ``pending`` maps a register to its last writer's completion; the
+  compiled per-op ``deps`` are that last-writer relation, and
+  ``comp[pc]`` stores exactly the value ``pending[dst]`` would have
+  held (stores clamp to issue time, loads to data arrival).
+* **Static totals are order-independent.** Every counter the event
+  loop bumps per op (RF traffic, histogram buckets, conflict cycles,
+  row/tag energy, arbitration) is a pure sum over the warp's plans
+  and bank-memo outcomes, so adding the precomputed warp total at
+  spawn yields the same number as accumulating per op.
+
+All time quantities are integer-valued floats well below 2**53 under
+every supported config, so float addition here is exact and replaying
+the same additions in the same order reproduces bit-equal cycles.
+
+Two consumers share the op semantics: :func:`replay_simulate` is the
+single-SM engine with everything inlined into one frame, and
+:func:`make_warp_runner` packages the identical per-op body as a
+per-SM closure for the chip simulator (one runner per core over the
+core's own cache/DRAM port/MSHRs), which is how chip runs inherit the
+speedup.  Instrumented runs (a live collector) stay on the event path
+-- the dispatch seam in :func:`repro.sm.simulator.simulate` falls
+back transparently, and the results are identical by the contract
+above.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.compiler.columnar import N_TOTALS, R_END, _sig_table, cta_plan
+from repro.compiler.compiled import CompiledKernel
+from repro.core.partition import MemoryPartition
+from repro.memory.banks import make_bank_model
+from repro.memory.cache import DataCache
+from repro.memory.dram import DRAMChannel
+from repro.sm.config import SMConfig
+from repro.sm.cta_scheduler import CTAScheduler
+from repro.sm.result import EnergyCounts, SimResult
+
+#: Runner outcome codes (shared with the chip simulator's loop).
+YIELD = 0  # next op not ready before the heap's earliest other warp
+BARRIER = 1  # hit a barrier; CTA-level coordination needed
+DONE = 2  # warp retired
+
+
+class _ColWarp:
+    """Replay state of one warp: fused rows, completions, position."""
+
+    __slots__ = ("rows", "comp", "cta", "pc", "n_ops", "core")
+
+    def __init__(self, prog, cta, core=None) -> None:
+        self.rows = prog.rows
+        #: Completion cycle per op (the event engine's pending dict,
+        #: indexed by producing pc instead of destination register).
+        self.comp = [0.0] * prog.n_ops
+        self.cta = cta
+        self.pc = 0
+        self.n_ops = prog.n_ops
+        #: Owning SM core in a chip simulation; unused single-SM.
+        self.core = core
+
+
+def _release_key(w: _ColWarp, release: float) -> float:
+    """Heap key of a barrier-released warp: the event engine re-keys
+    through ``next_ready``, so an in-flight load still gates issue."""
+    key = release
+    comp = w.comp
+    for d in w.rows[w.pc][4]:
+        c = comp[d]
+        if c > key:
+            key = c
+    return key
+
+
+def make_warp_runner(cfg: SMConfig, cache, dram, mshr):
+    """Build one SM core's warp runner over its memory system.
+
+    Returns ``(run, state)``: ``run(w, ready, limit)`` replays warp
+    ``w`` from cycle ``max(ready, issued_until)`` while its ops stay
+    strictly below ``limit``, returning ``(code, value)`` --
+    ``(YIELD, heap_key)``, ``(BARRIER, arrival_cycle)`` with the pc
+    already advanced past the barrier, or ``(DONE, last_issue)``.
+    ``state()`` reports ``(issued_until, mem_port_free)`` for the
+    end-of-simulation cycle count.
+
+    The issue port and memory pipeline port are closure state -- the
+    two scalars the event engine threads through its loop.  The op
+    bodies here and in :func:`replay_simulate` are line-for-line the
+    same arithmetic; the chip simulator calls this per core, the
+    single-SM path inlines it for one less frame per pop.
+    """
+    dram_request = dram.request
+    hit_latency = float(cfg.cache_hit_latency)
+    line_bytes = cfg.cache_line_bytes
+    txn_bytes = cfg.dram_transaction_bytes
+    desch_lat = cfg.deschedule_latency
+    desch_thr = cfg.deschedule_threshold if desch_lat else float("inf")
+    issued_until = 0.0
+    mem_port_free = 0.0
+    if mshr is not None:
+        mshr_outstanding = mshr.outstanding
+        mshr_entry_free = mshr.entry_free_at
+        mshr_allocate = mshr.allocate
+
+    # ---- inlined model fast paths -----------------------------------
+    # The cache probe (dict hit + LRU touch) and the unbanked DRAM bus
+    # arithmetic (two adds and a division) are a fraction of the cost
+    # of calling into the model objects, so the runner keeps both as
+    # local state and replays *the same arithmetic in the same order*
+    # -- bit-identical by construction -- writing the counters back
+    # through ``sync()``.  Banked or observed DRAM channels keep the
+    # model call (row-buffer state stays where it lives); the cache is
+    # always a plain DataCache here and is always inlined.
+    cache_sets = cache._sets
+    num_sets = cache.num_sets
+    cache_assoc = cache.assoc
+    stats = cache.stats
+    c_rhit = stats.read_hits
+    c_rmiss = stats.read_misses
+    c_whit = stats.write_hits
+    c_wmiss = stats.write_misses
+    # ``mshr is None`` keeps mixed accounting out: the MSHR branches
+    # route fills through ``dram.request`` (which bumps the model's own
+    # counters), and the write-back below would clobber those.
+    fast_dram = (
+        mshr is None
+        and type(dram) is DRAMChannel
+        and not dram._banked
+        and dram.observer is None
+    )
+    if fast_dram:
+        dram_free = dram.free_at
+        dram_acc = dram.accesses
+        dram_xfer = dram.bytes_transferred
+        dram_busy = dram.busy_cycles
+        dram_last = dram._last_request_time
+        dram_lat = float(dram.latency)
+        dram_bpc = dram.bytes_per_cycle
+        # Fixed-size transfers always divide the same operands, so the
+        # quotients are loop invariants (same division, same bits).
+        line_service = line_bytes / dram_bpc
+        txn_service = txn_bytes / dram_bpc
+    else:
+        # Placeholders; the slow branches never read these, and shared
+        # DRAMSystem ports don't expose the channel-only attributes.
+        dram_free = 0.0
+        dram_acc = dram_xfer = 0
+        dram_busy = dram_last = dram_lat = 0.0
+        dram_bpc = line_service = txn_service = 1.0
+
+    def sync():
+        """Flush inlined model counters back into the model objects."""
+        stats.read_hits = c_rhit
+        stats.read_misses = c_rmiss
+        stats.write_hits = c_whit
+        stats.write_misses = c_wmiss
+        if fast_dram:
+            dram.free_at = dram_free
+            dram.accesses = dram_acc
+            dram.bytes_transferred = dram_xfer
+            dram.busy_cycles = dram_busy
+            dram._last_request_time = dram_last
+
+    def state():
+        sync()
+        return issued_until, mem_port_free
+
+    def run(w: _ColWarp, ready: float, limit: float):
+        nonlocal issued_until, mem_port_free
+        nonlocal c_rhit, c_rmiss, c_whit, c_wmiss
+        nonlocal dram_free, dram_acc, dram_xfer, dram_busy, dram_last
+        rows = w.rows
+        comp = w.comp
+        pc = w.pc
+        mpf = mem_port_free
+        t = ready if ready > issued_until else issued_until
+        kind, a, b, aux, deps = rows[pc]
+        while True:
+            if kind == 0:  # ALU / SFU / TEX
+                issue_done = t + a
+                comp[pc] = t + b
+            elif kind != 6:  # memory: one issue cycle, conflicts
+                # serialise in the pipeline behind the single LSU port
+                issue_done = t + 1.0
+                port_start = issue_done if issue_done > mpf else mpf
+                if kind == 1:  # shared load / store
+                    mpf = port_start + a
+                    comp[pc] = port_start + b
+                else:
+                    data_ready = port_start + a
+                    mpf = port_start + b
+                    if kind == 2:  # global/local load through the cache
+                        completion = data_ready
+                        if mshr is None:  # legacy blocking miss model
+                            if fast_dram:
+                                for li in aux[1]:
+                                    ss = cache_sets[li % num_sets]
+                                    if li in ss:
+                                        ss.move_to_end(li)
+                                        c_rhit += 1
+                                        done = data_ready + hit_latency
+                                    else:
+                                        c_rmiss += 1
+                                        if len(ss) >= cache_assoc:
+                                            ss.popitem(last=False)
+                                        ss[li] = None
+                                        start = (
+                                            data_ready
+                                            if data_ready > dram_free
+                                            else dram_free
+                                        )
+                                        dram_free = start + line_service
+                                        dram_acc += 1
+                                        dram_xfer += line_bytes
+                                        dram_busy += line_service
+                                        dram_last = data_ready
+                                        done = (
+                                            start + dram_lat + line_service
+                                        )
+                                    if done > completion:
+                                        completion = done
+                            else:  # banked/observed DRAM keeps the call
+                                for li in aux[1]:
+                                    ss = cache_sets[li % num_sets]
+                                    if li in ss:
+                                        ss.move_to_end(li)
+                                        c_rhit += 1
+                                        done = data_ready + hit_latency
+                                    else:
+                                        c_rmiss += 1
+                                        if len(ss) >= cache_assoc:
+                                            ss.popitem(last=False)
+                                        ss[li] = None
+                                        done = dram_request(
+                                            data_ready, line_bytes
+                                        )
+                                    if done > completion:
+                                        completion = done
+                        else:  # non-blocking: merge secondaries, stall
+                            # on a full file, address the fills
+                            cur = data_ready
+                            for seg in aux[0]:
+                                li = seg // line_bytes
+                                ss = cache_sets[li % num_sets]
+                                if li in ss:
+                                    ss.move_to_end(li)
+                                    c_rhit += 1
+                                    hit = True
+                                else:
+                                    c_rmiss += 1
+                                    if len(ss) >= cache_assoc:
+                                        ss.popitem(last=False)
+                                    ss[li] = None
+                                    hit = False
+                                fill = mshr_outstanding(seg, cur)
+                                if fill is not None:
+                                    mshr.secondary_merges += 1
+                                    done = fill
+                                elif hit:
+                                    done = cur + hit_latency
+                                else:
+                                    free = mshr_entry_free(cur)
+                                    if free > cur:
+                                        mshr.full_stalls += 1
+                                        mshr.full_stall_cycles += free - cur
+                                        cur = free
+                                    done = dram_request(cur, line_bytes, seg)
+                                    mshr_allocate(seg, done, cur)
+                                if done > completion:
+                                    completion = done
+                            if cur > mpf:
+                                mpf = cur
+                        comp[pc] = completion
+                    elif kind == 3:  # uncached load: per-sector DRAM
+                        completion = data_ready
+                        if fast_dram:
+                            for _ in range(aux):
+                                start = (
+                                    data_ready if data_ready > dram_free
+                                    else dram_free
+                                )
+                                dram_free = start + txn_service
+                                dram_acc += 1
+                                dram_xfer += txn_bytes
+                                dram_busy += txn_service
+                                done = start + dram_lat + txn_service
+                                if done > completion:
+                                    completion = done
+                            dram_last = data_ready
+                        else:
+                            for _ in range(aux):
+                                done = dram_request(data_ready, txn_bytes)
+                                if done > completion:
+                                    completion = done
+                        comp[pc] = completion
+                    elif kind == 4:  # cached store: write-through bursts
+                        for li in aux[1]:
+                            ss = cache_sets[li % num_sets]
+                            if li in ss:
+                                ss.move_to_end(li)
+                                c_whit += 1
+                            else:
+                                c_wmiss += 1
+                        if fast_dram:
+                            for nb in aux[2]:
+                                start = (
+                                    data_ready if data_ready > dram_free
+                                    else dram_free
+                                )
+                                service = nb / dram_bpc
+                                dram_free = start + service
+                                dram_acc += 1
+                                dram_xfer += nb
+                                dram_busy += service
+                            dram_last = data_ready
+                        elif mshr is None:
+                            for nb in aux[2]:
+                                dram_request(data_ready, nb)
+                        else:
+                            for seg, nb in zip(aux[0], aux[2]):
+                                dram_request(data_ready, nb, seg)
+                        comp[pc] = issue_done
+                    else:  # kind == 5, uncached store
+                        if fast_dram:
+                            for _ in range(aux):
+                                start = (
+                                    data_ready if data_ready > dram_free
+                                    else dram_free
+                                )
+                                dram_free = start + txn_service
+                                dram_acc += 1
+                                dram_xfer += txn_bytes
+                                dram_busy += txn_service
+                            dram_last = data_ready
+                        else:
+                            for _ in range(aux):
+                                dram_request(data_ready, txn_bytes)
+                        comp[pc] = issue_done
+            else:  # BARRIER: hand back for CTA coordination
+                w.pc = pc + 1
+                issued_until = t + 1.0
+                mem_port_free = mpf
+                return 1, t
+            pc += 1
+            kind, a, b, aux, deps = rows[pc]
+            nr = issue_done
+            if deps:
+                for d in deps:
+                    c = comp[d]
+                    if c > nr:
+                        nr = c
+            elif deps is None:  # R_END sentinel: warp retired
+                w.pc = pc
+                issued_until = issue_done
+                mem_port_free = mpf
+                return 2, issue_done
+            if desch_lat and nr - issue_done > desch_thr:
+                nr += desch_lat
+            if nr < limit:
+                # The warp would pop next anyway (strictly earliest
+                # key; ties lose to older sequence numbers): keep
+                # replaying inline.
+                t = nr
+                continue
+            w.pc = pc
+            issued_until = issue_done
+            mem_port_free = mpf
+            return 0, nr
+
+    return run, state
+
+
+def replay_simulate(
+    kernel: CompiledKernel,
+    partition: MemoryPartition,
+    config: SMConfig | None = None,
+    thread_target: int | None = None,
+    dram=None,
+    cta_source=None,
+) -> SimResult:
+    """Single-SM simulation on the columnar replay core.
+
+    Same contract and result as :func:`repro.sm.simulator.simulate`
+    with no collector; the dispatch seam there routes here when
+    ``config.engine == "columnar"`` and no live collector is attached.
+    The warp-step body is :func:`make_warp_runner`'s, inlined into one
+    frame so a pop costs no Python call.
+    """
+    from repro.sm.simulator import SimulationError
+
+    cfg = config or SMConfig()
+    scheduler = CTAScheduler(
+        kernel, partition, thread_target, cta_source=cta_source
+    )
+    banks = make_bank_model(partition, cluster_port=cfg.cluster_port_banks)
+    cache = DataCache(
+        partition.cache_bytes,
+        assoc=cfg.cache_assoc,
+        line_bytes=cfg.cache_line_bytes,
+        misaligned="floor",
+    )
+    if dram is None:
+        dram = cfg.make_dram_channel()
+    mshr = cfg.make_mshr_file()
+    cache_enabled = cache.enabled
+    barrier_latency = cfg.barrier_latency
+
+    dram_request = dram.request
+    hit_latency = float(cfg.cache_hit_latency)
+    line_bytes = cfg.cache_line_bytes
+    txn_bytes = cfg.dram_transaction_bytes
+    desch_lat = cfg.deschedule_latency
+    desch_thr = cfg.deschedule_threshold if desch_lat else float("inf")
+    if mshr is not None:
+        mshr_outstanding = mshr.outstanding
+        mshr_entry_free = mshr.entry_free_at
+        mshr_allocate = mshr.allocate
+
+    # Inlined model fast paths -- see make_warp_runner for the
+    # contract: same arithmetic in the same order as the model
+    # methods, counters kept in locals and written back after the
+    # loop.  ``fast_dram`` keeps banked/observed channels on the
+    # method call so row-buffer state stays in the model.
+    cache_sets = cache._sets
+    num_sets = cache.num_sets
+    cache_assoc = cache.assoc
+    c_rhit = c_rmiss = c_whit = c_wmiss = 0
+    # ``mshr is None`` keeps mixed accounting out: the MSHR branches
+    # route fills through ``dram.request`` (which bumps the model's own
+    # counters), and the write-back below would clobber those.
+    fast_dram = (
+        mshr is None
+        and type(dram) is DRAMChannel
+        and not dram._banked
+        and dram.observer is None
+    )
+    if fast_dram:
+        dram_free = dram.free_at
+        dram_acc = dram.accesses
+        dram_xfer = dram.bytes_transferred
+        dram_busy = dram.busy_cycles
+        dram_last = dram._last_request_time
+        dram_lat = float(dram.latency)
+        dram_bpc = dram.bytes_per_cycle
+        # Fixed-size transfers always divide the same operands, so the
+        # quotients are loop invariants (same division, same bits).
+        line_service = line_bytes / dram_bpc
+        txn_service = txn_bytes / dram_bpc
+    else:
+        # Placeholders; the slow branches never read these, and shared
+        # DRAMSystem ports don't expose the channel-only attributes.
+        dram_free = 0.0
+        dram_acc = dram_xfer = 0
+        dram_busy = dram_last = dram_lat = 0.0
+        dram_bpc = line_service = txn_service = 1.0
+
+    INF = float("inf")
+    # The heap always holds an infinite-key sentinel, so the hot loop
+    # peeks ``heap[0][0]`` without an emptiness guard and the outer
+    # loop terminates on popping it.
+    heap: list = [(INF, 0, None, 0, (), None)]
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    heappushpop = heapq.heappushpop
+    seq = 0
+    # Static totals: one tuple appended per CTA spawn, summed
+    # columnwise once at the end.
+    spawned: list = []
+    plans: dict = {}
+    # CTA indexes are unique, but grids repeat one CTA shape: the
+    # interned signature row's identity plus the recycled shared-memory
+    # base is exactly what a plan depends on within one run, so keying
+    # on those lets steady-state spawns skip cta_plan's key rebuild.
+    sig_rows = _sig_table(kernel, line_bytes)
+
+    def spawn_cta(now: float) -> bool:
+        nonlocal seq
+        resident = scheduler.launch_next()
+        if resident is None:
+            return False
+        pkey = (id(sig_rows[resident.index]), resident.shared_base)
+        plan = plans.get(pkey)
+        if plan is None:
+            plan = plans[pkey] = cta_plan(
+                kernel, banks, resident.shared_base, cfg, cache_enabled,
+                resident.index,
+            )
+        progs, ctot = plan
+        for prog in progs:
+            w = _ColWarp(prog, resident)
+            heappush(heap, (now, seq, w, 0, w.rows, w.comp))
+            seq += 1
+        spawned.append(ctot)
+        return True
+
+    live_ctas = 0
+    for _ in range(scheduler.max_concurrent):
+        if spawn_cta(0.0):
+            live_ctas += 1
+
+    issued_until = 0.0
+    mem_port_free = 0.0
+    while True:
+        item = heappop(heap)
+        ready, _, w, pc, rows, comp = item
+        if w is None:  # sentinel popped: no runnable warp left
+            break
+        limit = heap[0][0]
+        t = ready if ready > issued_until else issued_until
+        kind, a, b, aux, deps = rows[pc]
+        # ---- warp run: the make_warp_runner body, inlined.  A yield
+        # swaps in the earliest heap entry without leaving this loop;
+        # heap entries carry (key, seq, warp, pc, rows, comp) so a pop
+        # resumes with plain unpacks instead of attribute loads.  The
+        # warp object's own ``pc`` is only synchronised at barriers,
+        # the one consumer that inspects a parked warp.
+        while True:
+            if kind == 0:  # ALU / SFU / TEX
+                issue_done = t + a
+                comp[pc] = t + b
+            elif kind != 6:  # memory
+                issue_done = t + 1.0
+                port_start = (
+                    issue_done if issue_done > mem_port_free
+                    else mem_port_free
+                )
+                if kind == 1:  # shared load / store
+                    mem_port_free = port_start + a
+                    comp[pc] = port_start + b
+                else:
+                    data_ready = port_start + a
+                    mem_port_free = port_start + b
+                    if kind == 2:  # global/local load through the cache
+                        completion = data_ready
+                        if mshr is None:
+                            if fast_dram:
+                                for li in aux[1]:
+                                    ss = cache_sets[li % num_sets]
+                                    if li in ss:
+                                        ss.move_to_end(li)
+                                        c_rhit += 1
+                                        done = data_ready + hit_latency
+                                    else:
+                                        c_rmiss += 1
+                                        if len(ss) >= cache_assoc:
+                                            ss.popitem(last=False)
+                                        ss[li] = None
+                                        start = (
+                                            data_ready
+                                            if data_ready > dram_free
+                                            else dram_free
+                                        )
+                                        dram_free = start + line_service
+                                        dram_acc += 1
+                                        dram_xfer += line_bytes
+                                        dram_busy += line_service
+                                        dram_last = data_ready
+                                        done = (
+                                            start + dram_lat + line_service
+                                        )
+                                    if done > completion:
+                                        completion = done
+                            else:  # banked/observed DRAM keeps the call
+                                for li in aux[1]:
+                                    ss = cache_sets[li % num_sets]
+                                    if li in ss:
+                                        ss.move_to_end(li)
+                                        c_rhit += 1
+                                        done = data_ready + hit_latency
+                                    else:
+                                        c_rmiss += 1
+                                        if len(ss) >= cache_assoc:
+                                            ss.popitem(last=False)
+                                        ss[li] = None
+                                        done = dram_request(
+                                            data_ready, line_bytes
+                                        )
+                                    if done > completion:
+                                        completion = done
+                        else:
+                            cur = data_ready
+                            for seg in aux[0]:
+                                li = seg // line_bytes
+                                ss = cache_sets[li % num_sets]
+                                if li in ss:
+                                    ss.move_to_end(li)
+                                    c_rhit += 1
+                                    hit = True
+                                else:
+                                    c_rmiss += 1
+                                    if len(ss) >= cache_assoc:
+                                        ss.popitem(last=False)
+                                    ss[li] = None
+                                    hit = False
+                                fill = mshr_outstanding(seg, cur)
+                                if fill is not None:
+                                    mshr.secondary_merges += 1
+                                    done = fill
+                                elif hit:
+                                    done = cur + hit_latency
+                                else:
+                                    free = mshr_entry_free(cur)
+                                    if free > cur:
+                                        mshr.full_stalls += 1
+                                        mshr.full_stall_cycles += free - cur
+                                        cur = free
+                                    done = dram_request(cur, line_bytes, seg)
+                                    mshr_allocate(seg, done, cur)
+                                if done > completion:
+                                    completion = done
+                            if cur > mem_port_free:
+                                mem_port_free = cur
+                        comp[pc] = completion
+                    elif kind == 3:  # uncached load
+                        completion = data_ready
+                        if fast_dram:
+                            for _ in range(aux):
+                                start = (
+                                    data_ready if data_ready > dram_free
+                                    else dram_free
+                                )
+                                dram_free = start + txn_service
+                                dram_acc += 1
+                                dram_xfer += txn_bytes
+                                dram_busy += txn_service
+                                done = start + dram_lat + txn_service
+                                if done > completion:
+                                    completion = done
+                            dram_last = data_ready
+                        else:
+                            for _ in range(aux):
+                                done = dram_request(data_ready, txn_bytes)
+                                if done > completion:
+                                    completion = done
+                        comp[pc] = completion
+                    elif kind == 4:  # cached store
+                        for li in aux[1]:
+                            ss = cache_sets[li % num_sets]
+                            if li in ss:
+                                ss.move_to_end(li)
+                                c_whit += 1
+                            else:
+                                c_wmiss += 1
+                        if fast_dram:
+                            for nb in aux[2]:
+                                start = (
+                                    data_ready if data_ready > dram_free
+                                    else dram_free
+                                )
+                                service = nb / dram_bpc
+                                dram_free = start + service
+                                dram_acc += 1
+                                dram_xfer += nb
+                                dram_busy += service
+                            dram_last = data_ready
+                        elif mshr is None:
+                            for nb in aux[2]:
+                                dram_request(data_ready, nb)
+                        else:
+                            for seg, nb in zip(aux[0], aux[2]):
+                                dram_request(data_ready, nb, seg)
+                        comp[pc] = issue_done
+                    else:  # kind == 5, uncached store
+                        if fast_dram:
+                            for _ in range(aux):
+                                start = (
+                                    data_ready if data_ready > dram_free
+                                    else dram_free
+                                )
+                                dram_free = start + txn_service
+                                dram_acc += 1
+                                dram_xfer += txn_bytes
+                                dram_busy += txn_service
+                            dram_last = data_ready
+                        else:
+                            for _ in range(aux):
+                                dram_request(data_ready, txn_bytes)
+                        comp[pc] = issue_done
+            else:  # BARRIER
+                w.pc = pc + 1
+                issued_until = t + 1.0
+                code = 1
+                break
+            pc += 1
+            kind, a, b, aux, deps = rows[pc]
+            nr = issue_done
+            if deps:
+                for d in deps:
+                    c = comp[d]
+                    if c > nr:
+                        nr = c
+            elif deps is None:  # R_END: warp retired
+                issued_until = issue_done
+                code = 2
+                break
+            if desch_lat and nr - issue_done > desch_thr:
+                nr += desch_lat
+            if nr < limit:
+                t = nr
+                continue
+            # Yield: reinsert this warp keyed ``nr`` and continue with
+            # whichever warp is now earliest -- one heap operation.
+            issued_until = issue_done
+            item = heappushpop(heap, (nr, seq, w, pc, rows, comp))
+            seq += 1
+            ready, _, w, pc, rows, comp = item
+            limit = heap[0][0]
+            t = ready if ready > issued_until else issued_until
+            kind, a, b, aux, deps = rows[pc]
+        # ---- irregular outcomes: retire / barrier --------------------
+        if code == 2:  # warp done at cycle ``issue_done``
+            cta = w.cta
+            cta.warps_outstanding -= 1
+            if cta.warps_outstanding == 0:
+                if cta.waiting_warps:
+                    raise SimulationError(
+                        f"CTA {cta.index} finished with warps still at a "
+                        "barrier"
+                    )
+                scheduler.retire(cta)
+                live_ctas -= 1
+                if spawn_cta(issue_done):
+                    live_ctas += 1
+        else:  # barrier arrival at cycle ``t``
+            cta = w.cta
+            cta.barrier_count += 1
+            if cta.barrier_count == cta.warps_outstanding:
+                cta.barrier_count = 0
+                waiting = cta.waiting_warps
+                cta.waiting_warps = []
+                release = t + 1 + barrier_latency
+                for other in (*waiting, w):
+                    if other.pc < other.n_ops:
+                        heappush(
+                            heap,
+                            (_release_key(other, release), seq, other,
+                             other.pc, other.rows, other.comp),
+                        )
+                        seq += 1
+                    else:
+                        # A warp whose last instruction is a barrier.
+                        cta.warps_outstanding -= 1
+                if cta.warps_outstanding == 0:
+                    scheduler.retire(cta)
+                    live_ctas -= 1
+                    if spawn_cta(release):
+                        live_ctas += 1
+            else:
+                cta.waiting_warps.append(w)
+
+    if scheduler.remaining:
+        raise SimulationError(f"{scheduler.remaining} CTAs were never launched")
+    if live_ctas:
+        raise SimulationError(f"{live_ctas} CTAs never finished")
+
+    # ---- write the inlined model counters back ------------------------
+    st = cache.stats
+    st.read_hits = c_rhit
+    st.read_misses = c_rmiss
+    st.write_hits = c_whit
+    st.write_misses = c_wmiss
+    if fast_dram:
+        dram.free_at = dram_free
+        dram.accesses = dram_acc
+        dram.bytes_transferred = dram_xfer
+        dram.busy_cycles = dram_busy
+        dram._last_request_time = dram_last
+
+    # ---- merge the spawn-time static totals ---------------------------
+    totals = (
+        [sum(col) for col in zip(*spawned)] if spawned else [0] * N_TOTALS
+    )
+    (instructions, conflict_cycles, arb_total,
+     h0, h1, h2, h3, h4,
+     mrf_r, mrf_w, orf_r, orf_w, lrf_r, lrf_w,
+     sh_rr, sh_rw, c_rr, c_rw, tags) = totals
+    h = banks.histogram
+    h.at_most_1 += h0
+    h.exactly_2 += h1
+    h.exactly_3 += h2
+    h.exactly_4 += h3
+    h.over_4 += h4
+    if arb_total:
+        banks.arbitration_conflicts += arb_total
+    counts = EnergyCounts()
+    counts.mrf_reads = mrf_r
+    counts.mrf_writes = mrf_w
+    counts.orf_reads = orf_r
+    counts.orf_writes = orf_w
+    counts.lrf_reads = lrf_r
+    counts.lrf_writes = lrf_w
+    counts.shared_row_reads = sh_rr
+    counts.shared_row_writes = sh_rw
+    counts.cache_row_reads = c_rr
+    counts.cache_row_writes = c_rw
+    counts.tag_lookups = tags
+    counts.dram_bits = dram.bits_transferred
+
+    end = max(issued_until, mem_port_free, dram.free_at)
+    notes: dict = {}
+    if mshr is not None:
+        memsys = {"mshr": mshr.stats()}
+        if getattr(dram, "row_hits", None) is not None:
+            memsys["dram_row_hits"] = dram.row_hits
+            memsys["dram_row_misses"] = dram.row_misses
+        notes["memsys"] = memsys
+    return SimResult(
+        kernel=kernel.name,
+        partition=partition,
+        cycles=end,
+        instructions=instructions,
+        resident_ctas=scheduler.max_concurrent,
+        resident_threads=scheduler.limits.resident_threads,
+        regs_per_thread=kernel.regs_per_thread,
+        bank_conflict_cycles=conflict_cycles,
+        conflict_histogram=banks.histogram,
+        cache_stats=cache.stats,
+        dram_accesses=dram.accesses,
+        dram_bytes=dram.bytes_transferred,
+        energy_counts=counts,
+        limiting_resource=scheduler.limits.limiting_resource,
+        stall_cycles={},
+        notes=notes,
+    )

@@ -133,6 +133,32 @@ def simulate(
     """
     cfg = config or SMConfig()
     obs = collector if collector is not None and collector.enabled else None
+    if cfg.engine == "columnar" and obs is None:
+        # Dispatch seam: uninstrumented runs replay precompiled
+        # columnar warp programs (bit-identical results, ~2x faster
+        # once lowered); a live collector needs the per-op event loop
+        # below, so instrumented runs fall back transparently -- same
+        # numbers, legacy speed (see repro.sm.replay).
+        #
+        # Tiered warm-up: lowering a kernel (signatures + programs)
+        # costs about as much as one event-engine run, so it only pays
+        # off from a kernel's second simulation on.  The first sight of
+        # a kernel runs the event core and marks it; sweeps (capacity,
+        # thread-target, ablation grids) replay columnar from then on,
+        # while one-shot simulations never pay an unamortised compile.
+        warm_key = ("colwarm", cfg.cache_line_bytes)
+        if warm_key in kernel._plan_cache:
+            from repro.sm.replay import replay_simulate
+
+            return replay_simulate(
+                kernel,
+                partition,
+                cfg,
+                thread_target=thread_target,
+                dram=dram,
+                cta_source=cta_source,
+            )
+        kernel._plan_cache[warm_key] = True
     scheduler = CTAScheduler(kernel, partition, thread_target, cta_source=cta_source)
     banks = make_bank_model(partition, cluster_port=cfg.cluster_port_banks)
     # The unified allocator can leave any remainder as cache; model the

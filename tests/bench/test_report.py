@@ -86,11 +86,18 @@ def test_compare_ignores_sub_noise_floor_entries():
 
 def test_compare_handles_disjoint_ids():
     old = _payload({"gone": 1.0, "both": 1.0})
-    new = _payload({"added": 1.0, "both": 1.0})
+    new = _payload({"added": 2.0, "both": 1.0})
     report = compare_payloads(old, new)
-    assert report.ok  # unmatched ids never count as regressions
-    assert report.only_old == ["gone"]
-    assert report.only_new == ["added"]
+    assert report.ok  # unmatched ids never count as regressions...
+    assert report.only_old == [("gone", 1.0)]
+    assert report.only_new == [("added", 2.0)]
+    # ...but they must be called out explicitly, with their timings,
+    # not silently skipped.
+    text = report.format()
+    assert "removed (1 benchmark(s)" in text
+    assert "added (1 benchmark(s)" in text
+    assert "gone" in text and "added" in text
+    assert "excluded from the regression check" in text
 
 
 def test_compare_rejects_bad_threshold():
