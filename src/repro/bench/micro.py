@@ -206,6 +206,32 @@ def bench_simulate(scale: str, repeats: int) -> list[BenchEntry]:
         return {"cycles": r.cycles, "instructions": r.instructions}
 
     entries.append(timed("sim.matrixmul.nonblocking", run_nonblocking, repeats))
+
+    # Instrumented per-engine pair: the replay path drives the full
+    # observability stack (collector + stall attribution), so its
+    # speedup over the instrumented event engine -- the number
+    # docs/performance.md quotes -- stays measured.  Non-blocking
+    # banked config: the hardest attribution arm (bank/MSHR splitting).
+    def run_profiled(cfg):
+        def body():
+            from repro.obs import Collector
+
+            col = Collector()
+            r = simulate(ck, baseline, cfg, collector=col)
+            assert col.conservation_errors() == []
+            return {"cycles": r.cycles, "instructions": r.instructions,
+                    "warps": len(col.warps)}
+
+        return body
+
+    nb_col = replace(nb_cfg, engine="columnar")
+    nb_ev = replace(nb_cfg, engine="event")
+    entries.append(
+        timed("sim.matrixmul.columnar.profiled", run_profiled(nb_col), repeats)
+    )
+    entries.append(
+        timed("sim.matrixmul.event.profiled", run_profiled(nb_ev), repeats)
+    )
     return entries
 
 

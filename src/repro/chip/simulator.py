@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from repro.chip.config import ChipConfig
 from repro.chip.dispatch import CTADispatcher
 from repro.chip.result import ChipResult
-from repro.compiler.columnar import N_TOTALS, cta_plan
+from repro.compiler.columnar import N_TOTALS, cta_plan, sig_obs_rows
 from repro.compiler.compiled import CompiledKernel, CompiledOp
 from repro.compiler.precompute import (
     K_BARRIER,
@@ -48,7 +48,12 @@ from repro.obs.collector import (
     CAUSE_RAW,
 )
 from repro.sm.cta_scheduler import CTAScheduler
-from repro.sm.replay import _ColWarp, _release_key, make_warp_runner
+from repro.sm.replay import (
+    _ColWarp,
+    _release_key,
+    make_warp_runner,
+    make_warp_runner_obs,
+)
 from repro.sm.result import EnergyCounts, SimResult
 from repro.sm.simulator import SimulationError
 
@@ -174,8 +179,9 @@ def _run_chip_event(kernel, sm_cfg, cores, dispatcher, chip_obs) -> None:
     """Interpretive main loop: the single-SM hot loop over N cores.
 
     This is the original chip event loop, verbatim; `simulate_chip`
-    routes here whenever observability is attached or the SM engine is
-    pinned to ``"event"``.
+    routes here when the SM engine is pinned to ``"event"``
+    (instrumented runs replay too, through
+    :func:`_run_chip_columnar`'s per-core instrumented runners).
     """
     line_bytes = sm_cfg.cache_line_bytes
     plans_k = plan_kernel(kernel, line_bytes)
@@ -474,7 +480,7 @@ def _run_chip_event(kernel, sm_cfg, cores, dispatcher, chip_obs) -> None:
                 core.live_ctas += 1
 
 
-def _run_chip_columnar(kernel, sm_cfg, cores, dispatcher) -> None:
+def _run_chip_columnar(kernel, sm_cfg, cores, dispatcher, chip_obs) -> None:
     """Columnar replay main loop: same interleaving, compiled rows.
 
     One global heap of ``(ready, seq, warp)`` entries keyed exactly as
@@ -485,6 +491,16 @@ def _run_chip_columnar(kernel, sm_cfg, cores, dispatcher) -> None:
     folded into the core counters once at the end, and ``state()``
     flushes each runner's inlined cache/DRAM counters back into the
     model objects the shared epilogue reads.
+
+    Observability rides the same loop: a core with a live collector
+    gets the instrumented runner
+    (:func:`repro.sm.replay.make_warp_runner_obs`), and the CTA
+    choreography below fires ``cta_launch`` / ``spawn`` / ``resume`` /
+    ``complete`` / ``cta_retire`` plus the chip collector's
+    ``cta_dispatch`` / ``cta_retire`` taps in exactly the event loop's
+    order; DRAM-window taps fire from the channel observers wired at
+    core construction, which the instrumented runner always routes
+    requests through.
     """
     heappush = heapq.heappush
     heappop = heapq.heappop
@@ -493,7 +509,14 @@ def _run_chip_columnar(kernel, sm_cfg, cores, dispatcher) -> None:
     states = []
     spawned: list[list] = []
     for core in cores:
-        run, state = make_warp_runner(sm_cfg, core.cache, core.dram, core.mshr)
+        if core.obs is not None:
+            run, state = make_warp_runner_obs(
+                sm_cfg, core.cache, core.dram, core.mshr, core.obs
+            )
+        else:
+            run, state = make_warp_runner(
+                sm_cfg, core.cache, core.dram, core.mshr
+            )
         runners.append(run)
         states.append(state)
         spawned.append([])
@@ -514,10 +537,29 @@ def _run_chip_columnar(kernel, sm_cfg, cores, dispatcher) -> None:
             core.cache.enabled,
             resident.index,
         )
-        for prog in progs:
-            w = _ColWarp(prog, resident, core)
-            heappush(heap, (now, seq, w))
-            seq += 1
+        obs = core.obs
+        if obs is not None:
+            obs.cta_launch(resident.index, now, len(progs))
+        if chip_obs is not None:
+            chip_obs.cta_dispatch(
+                resident.index, core.index, now, dispatcher.remaining
+            )
+        if obs is not None:
+            for wi, prog in enumerate(progs):
+                w = _ColWarp(
+                    prog, resident, core, wid=core.warp_serial,
+                    obs_rows=sig_obs_rows(prog.sig),
+                )
+                core.warp_serial += 1
+                obs.spawn(w.wid, resident.index, wi, now)
+                w.ws = obs.warps[w.wid]
+                heappush(heap, (now, seq, w))
+                seq += 1
+        else:
+            for prog in progs:
+                w = _ColWarp(prog, resident, core)
+                heappush(heap, (now, seq, w))
+                seq += 1
         spawned[core.index].append(ctot)
         return True
 
@@ -543,6 +585,9 @@ def _run_chip_columnar(kernel, sm_cfg, cores, dispatcher) -> None:
             continue
         if code == 2:
             # Warp drained at cycle ``value``.
+            obs = core.obs
+            if obs is not None:
+                obs.complete(w.wid, value)
             cta = w.cta
             cta.warps_outstanding -= 1
             if cta.warps_outstanding == 0:
@@ -551,6 +596,10 @@ def _run_chip_columnar(kernel, sm_cfg, cores, dispatcher) -> None:
                         f"CTA {cta.index} finished with warps still at a barrier"
                     )
                 core.scheduler.retire(cta)
+                if obs is not None:
+                    obs.cta_retire(cta.index, value)
+                if chip_obs is not None:
+                    chip_obs.cta_retire(cta.index, core.index, value)
                 core.live_ctas -= 1
                 if spawn_cta(core, value):
                     core.live_ctas += 1
@@ -563,14 +612,23 @@ def _run_chip_columnar(kernel, sm_cfg, cores, dispatcher) -> None:
             waiting = cta.waiting_warps
             cta.waiting_warps = []
             release = value + 1 + barrier_latency
+            obs = core.obs
             for other in (*waiting, w):
+                if obs is not None:
+                    obs.resume(other.wid, release, CAUSE_BARRIER)
                 if other.pc < other.n_ops:
                     heappush(heap, (_release_key(other, release), seq, other))
                     seq += 1
                 else:
                     cta.warps_outstanding -= 1
+                    if obs is not None:
+                        obs.complete(other.wid, release)
             if cta.warps_outstanding == 0:
                 core.scheduler.retire(cta)
+                if obs is not None:
+                    obs.cta_retire(cta.index, release)
+                if chip_obs is not None:
+                    chip_obs.cta_retire(cta.index, core.index, release)
                 core.live_ctas -= 1
                 if spawn_cta(core, release):
                     core.live_ctas += 1
@@ -732,16 +790,13 @@ def simulate_chip(
             )
         )
 
-    if (
-        sm_cfg.engine == "columnar"
-        and chip_obs is None
-        and all(core.obs is None for core in cores)
-    ):
+    if sm_cfg.engine == "columnar":
         # No tiered warm-up at chip scope: one chip simulation runs the
-        # kernel on every SM, so lowering amortises within the run.
-        # Mark the kernel warm so later single-SM sims replay directly.
+        # kernel on every SM (instrumented or not), so lowering
+        # amortises within the run.  Mark the kernel warm so later
+        # single-SM sims replay directly.
         kernel._plan_cache[("colwarm", sm_cfg.cache_line_bytes)] = True
-        _run_chip_columnar(kernel, sm_cfg, cores, dispatcher)
+        _run_chip_columnar(kernel, sm_cfg, cores, dispatcher, chip_obs)
     else:
         _run_chip_event(kernel, sm_cfg, cores, dispatcher, chip_obs)
 

@@ -150,20 +150,6 @@ def _sm_config(args: argparse.Namespace):
     )
 
 
-def _note_engine_fallback(args: argparse.Namespace) -> None:
-    """Tell the user an instrumented run left the columnar engine.
-
-    ``profile``/``trace`` attach collectors, and the dispatch seams in
-    :func:`repro.sm.simulate` / :func:`repro.chip.simulate_chip` fall
-    back to the per-op event engine whenever observability is live (the
-    columnar replayer has no per-op hooks).  Results are bit-identical;
-    only wall-clock differs -- but the fallback should never be silent.
-    """
-    if getattr(args, "engine", "columnar") == "columnar":
-        log.info("observability attached: columnar engine falls back to "
-                 "the event engine for this run (results are bit-identical)")
-
-
 def _make_executor(args: argparse.Namespace):
     from repro.experiments.artifacts import DiskCache
     from repro.experiments.executor import Executor
@@ -221,6 +207,7 @@ def _finish_run(
             experiments=experiments,
             executor=executor,
             chip=chip_summary,
+            engines=runner.engine_summary(),
         )
         path = runner.cache.put_manifest(manifest)
         log.info("wrote run manifest to %s", path)
@@ -307,10 +294,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        default="columnar",
                        help="warp-step engine: 'columnar' replays "
                             "precompiled plans (default, fastest), "
-                            "'event' is the per-op interpreter; results "
-                            "are bit-identical.  Instrumented commands "
-                            "(profile/trace, --profile) always run on "
-                            "the event engine")
+                            "'event' is the per-op interpreter; results, "
+                            "stall attribution, interval metrics, and "
+                            "traces are bit-identical either way -- "
+                            "instrumented commands (profile/trace, "
+                            "--profile) replay columnar too")
 
     run = sub.add_parser("run", help="simulate one benchmark", parents=[common])
     _add_design_flags(run)
@@ -620,7 +608,6 @@ def _cmd_chip(args: argparse.Namespace) -> int:
     if args.profile:
         from repro.obs import ChipCollector
 
-        _note_engine_fallback(args)
         cc = ChipCollector.for_chip(chip)
     t0 = time.perf_counter()
     cr = rn.simulate_chip(
@@ -766,7 +753,6 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs import STALL_CAUSES, write_trace
 
     window = args.window if args.metrics_out else 0
-    _note_engine_fallback(args)
     if _chip_mode(args):
         return _cmd_profile_chip(args, window)
     result, col = _instrumented_run(args, window, bool(args.trace_out))
@@ -897,7 +883,6 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         log.error("trace needs a BENCHMARK to simulate, or --compare A B "
                   "to pivot two existing trace files")
         raise SystemExit(2)
-    _note_engine_fallback(args)
     if _chip_mode(args):
         cr, cc = _instrumented_chip_run(args, 0, True,
                                         max_trace_events=args.max_events)

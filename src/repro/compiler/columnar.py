@@ -48,8 +48,16 @@ from repro.compiler.precompute import (
     K_GLOBAL_LOAD,
     K_SHARED_LOAD,
     K_SHARED_STORE,
+    K_TEX,
     plan_kernel,
 )
+from repro.obs.collector import CAUSE_MEMORY, CAUSE_RAW, STALL_CAUSES
+
+# Integer cause indices into STALL_CAUSES: the instrumented replay loops
+# accumulate stalls into per-warp lists indexed by these and only convert
+# back to the canonical cause strings when folding into the collector.
+CI_RAW = STALL_CAUSES.index(CAUSE_RAW)
+CI_MEMORY = STALL_CAUSES.index(CAUSE_MEMORY)
 
 #: Replay row kinds: the runner dispatches on these, not the ``K_*``
 #: plan kinds -- ALU/SFU/TEX collapse into one row (their latency is
@@ -100,6 +108,10 @@ class WarpSig:
             consumer (dead completions need no bookkeeping).
         rf_totals: ``(mrf_r, mrf_w, orf_r, orf_w, lrf_r, lrf_w)``
             summed over non-barrier ops.
+        obs: Lazily built observability columns (see
+            :func:`sig_obs_rows`); ``None`` until an instrumented
+            replay first touches the signature, so uninstrumented
+            compiles pay one slot assignment.
 
     The constructor is a cold-start hot spot: signatures rarely intern
     across CTAs (global-address plans embed per-CTA addresses), so a
@@ -109,7 +121,7 @@ class WarpSig:
     set lives on :class:`WarpProgram` only.
     """
 
-    __slots__ = ("ops", "plans", "n_ops", "deps", "live", "rf_totals")
+    __slots__ = ("ops", "plans", "n_ops", "deps", "live", "rf_totals", "obs")
 
     def __init__(self, ops, plans) -> None:
         self.ops = ops
@@ -149,6 +161,72 @@ class WarpSig:
         self.deps = tuple(deps)
         self.live = live
         self.rf_totals = (mrf_r, mrf_w, orf_r, orf_w, lrf_r, lrf_w)
+        self.obs = None
+
+
+def sig_obs_rows(sig: WarpSig) -> tuple:
+    """Per-op observability columns for the instrumented replay loops.
+
+    Returns ``(rows, causes, dsts)``, all aligned with
+    :attr:`WarpProgram.rows` (plus a sentinel under the ``R_END`` row so
+    all share a pc).  Each row is ``(name, prods, dst)``: the
+    instruction name for trace slices, the *producer pcs* of the op's
+    source registers, and the destination register.  ``prods`` is the
+    static last-writer relation evaluated in source-operand order --
+    exactly the registers the collector's ``issue`` hook would find in
+    its pending dict, resolved at compile time so the replay runner can
+    attribute a dependency wait with list lookups into the per-warp
+    completion column instead of per-op dict traffic.  Scan equivalence
+    with ``Collector.issue`` holds because warps replay in program
+    order (every producer pc has executed by the time a consumer reads
+    it) and ties keep the first maximum in operand order in both forms.
+
+    ``causes`` is the static writeback cause per op as an *index into*
+    ``STALL_CAUSES``: texture fetches always resolve in DRAM
+    (``CAUSE_MEMORY``), every other statically-known producer is
+    core-local (``CAUSE_RAW``).  Dynamic causes stay with the replay
+    runner: cached global loads escalate to ``CAUSE_MEMORY`` on a miss
+    or MSHR merge, uncached loads unconditionally, exactly as the event
+    engine decides them.  Barriers take the literal name the event
+    engine reports.
+
+    ``dsts`` is the destination column alone -- the single-SM
+    instrumented loop reads nothing else per memory op, so it indexes
+    the flat list instead of unpacking a row.  All three sequences are
+    static and shared across every warp of the signature.
+
+    Built lazily and cached on the signature: only instrumented replays
+    pay for it, and partition sweeps over one kernel reuse the rows
+    (names, operands, and causes are partition-independent).
+    """
+    cached = sig.obs
+    if cached is None:
+        rows = []
+        causes = []
+        last_writer: dict = {}
+        for pc, (op, pl) in enumerate(zip(sig.ops, sig.plans)):
+            barrier = pl.kind == K_BARRIER
+            # Producers are looked up before this op's own write lands,
+            # mirroring the event order (issue reads pending, then
+            # writeback overwrites it); duplicate sources keep their
+            # duplicate producer entries -- a strict-maximum scan makes
+            # the repeat a no-op, as it is in the dict form.
+            prods = tuple(
+                last_writer[r] for r in op.srcs if r in last_writer
+            )
+            # Barrier rows drop the dst: the event loop continues past
+            # its writeback lines, so a barrier never registers a
+            # pending write whatever the op object carries.
+            dst = None if barrier else op.dst
+            rows.append(("BARRIER" if barrier else op.op.name, prods, dst))
+            causes.append(CI_MEMORY if pl.kind == K_TEX else CI_RAW)
+            if dst is not None:
+                last_writer[dst] = pc
+        rows.append((None, (), None))
+        causes.append(CI_RAW)
+        cached = (rows, causes, [r[2] for r in rows])
+        sig.obs = cached
+    return cached
 
 
 class WarpProgram:

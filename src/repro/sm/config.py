@@ -65,8 +65,9 @@ class SMConfig:
     #: the legacy per-op event loop.  The two are bit-identical --
     #: every SimResult field matches exactly (differential tests pin
     #: this) -- so the flag never changes simulated numbers, only
-    #: wall-clock.  Instrumented runs (profile/trace collectors) fall
-    #: back to the event engine transparently.  Being timing-neutral,
+    #: wall-clock.  Instrumented runs (profile/trace collectors)
+    #: replay columnar too, with identical per-cause attribution,
+    #: interval samples, and trace events.  Being timing-neutral,
     #: the field is excluded from experiment/chip config fingerprints
     #: and serialized payloads.
     engine: str = "columnar"

@@ -43,22 +43,56 @@ single-SM engine with everything inlined into one frame, and
 :func:`make_warp_runner` packages the identical per-op body as a
 per-SM closure for the chip simulator (one runner per core over the
 core's own cache/DRAM port/MSHRs), which is how chip runs inherit the
-speedup.  Instrumented runs (a live collector) stay on the event path
--- the dispatch seam in :func:`repro.sm.simulator.simulate` falls
-back transparently, and the results are identical by the contract
-above.
+speedup.  Instrumented runs (a live collector) replay too:
+:func:`make_warp_runner_obs` is the same arithmetic with the
+collector's hooks fired at exactly the event engine's call sites and
+with the same arguments, so stall attribution, interval metrics, and
+trace payloads are byte-identical per cause -- the observability side
+of the bit-identity contract, enforced by
+``tests/obs/test_replay_observability.py``.
 """
 
 from __future__ import annotations
 
 import heapq
 
-from repro.compiler.columnar import N_TOTALS, R_END, _sig_table, cta_plan
+from repro.compiler.columnar import (
+    N_TOTALS,
+    R_END,
+    _sig_table,
+    cta_plan,
+    sig_obs_rows,
+)
 from repro.compiler.compiled import CompiledKernel
 from repro.core.partition import MemoryPartition
 from repro.memory.banks import make_bank_model
 from repro.memory.cache import DataCache
 from repro.memory.dram import DRAMChannel
+from repro.obs.collector import (
+    CAUSE_BANK_CONFLICT,
+    CAUSE_BARRIER,
+    CAUSE_DESCHEDULE,
+    CAUSE_ISSUE_PORT,
+    CAUSE_MEMORY,
+    CAUSE_MSHR_FULL,
+    CAUSE_RAW,
+    STALL_CAUSES,
+)
+
+#: Integer stall-cause indices: the instrumented loops accumulate into
+#: per-warp float lists indexed by these (no dict traffic per op) and
+#: fold into ``_WarpObs.stalls`` once at the end of the run.  The fold
+#: is exact -- stall sums are integer-valued floats -- and invisible to
+#: every report: ``stall_totals`` re-keys through ``STALL_CAUSES`` so
+#: per-warp dict insertion order is never serialized.
+CI_RAW = STALL_CAUSES.index(CAUSE_RAW)
+CI_BANK = STALL_CAUSES.index(CAUSE_BANK_CONFLICT)
+CI_MEMORY = STALL_CAUSES.index(CAUSE_MEMORY)
+CI_MSHR = STALL_CAUSES.index(CAUSE_MSHR_FULL)
+CI_PORT = STALL_CAUSES.index(CAUSE_ISSUE_PORT)
+CI_DESCH = STALL_CAUSES.index(CAUSE_DESCHEDULE)
+N_CAUSES = len(STALL_CAUSES)
+from repro.obs.trace import PID_WARPS
 from repro.sm.config import SMConfig
 from repro.sm.cta_scheduler import CTAScheduler
 from repro.sm.result import EnergyCounts, SimResult
@@ -72,9 +106,12 @@ DONE = 2  # warp retired
 class _ColWarp:
     """Replay state of one warp: fused rows, completions, position."""
 
-    __slots__ = ("rows", "comp", "cta", "pc", "n_ops", "core")
+    __slots__ = (
+        "rows", "comp", "cta", "pc", "n_ops", "core", "wid", "obs_rows",
+        "odst", "ws", "wcaus", "wconf", "wmshr", "wstal",
+    )
 
-    def __init__(self, prog, cta, core=None) -> None:
+    def __init__(self, prog, cta, core=None, wid=0, obs_rows=None) -> None:
         self.rows = prog.rows
         #: Completion cycle per op (the event engine's pending dict,
         #: indexed by producing pc instead of destination register).
@@ -84,6 +121,28 @@ class _ColWarp:
         self.n_ops = prog.n_ops
         #: Owning SM core in a chip simulation; unused single-SM.
         self.core = core
+        #: Instrumented-replay state, set only when ``obs_rows`` (the
+        #: :func:`~repro.compiler.columnar.sig_obs_rows` pair) is given:
+        #: run-unique warp id, per-op (name, prods, dst) columns, the
+        #: collector's _WarpObs, and the per-pc writeback latency class
+        #: -- cause index / conflict share / MSHR wait, the pc-indexed
+        #: image of what ``Collector.writeback`` would have stored per
+        #: destination register.  ALU rows never touch them (their
+        #: static cause and zero shares are the initial values).
+        #: ``wstal`` accumulates stall cycles per cause index; it is
+        #: folded into the collector's stalls dict at end of run.
+        self.wid = wid
+        self.ws = None
+        if obs_rows is not None:
+            rows_o, causes, dsts = obs_rows
+            self.obs_rows = rows_o
+            self.odst = dsts
+            self.wcaus = list(causes)
+            self.wconf = [0.0] * prog.n_ops
+            self.wmshr = [0.0] * prog.n_ops
+            self.wstal = [0.0] * N_CAUSES
+        else:
+            self.obs_rows = None
 
 
 def _release_key(w: _ColWarp, release: float) -> float:
@@ -396,6 +455,370 @@ def make_warp_runner(cfg: SMConfig, cache, dram, mshr):
     return run, state
 
 
+def make_warp_runner_obs(cfg: SMConfig, cache, dram, mshr, obs):
+    """Instrumented warp runner: :func:`make_warp_runner` plus a collector.
+
+    Identical timing arithmetic, with the :class:`~repro.obs.Collector`
+    semantics *inlined* rather than called: the attribution expressions
+    of ``Collector.issue`` / ``writeback`` / ``cache_access`` are
+    replicated operation for operation (same operands, same order, same
+    guards), evaluated against the collector's own ``_WarpObs`` state,
+    so per-cause stall totals, interval metrics, and trace payloads are
+    byte-identical to the event engine's while the per-op cost stays
+    replay-grade.  ``tests/obs/test_replay_observability.py`` enforces
+    the equivalence per stall cause; any edit to ``Collector`` must be
+    mirrored here.
+
+    Deltas against the uninstrumented runner:
+
+    * No ``fast_dram`` arm: instrumented channels carry the collector's
+      transfer observer, which routes every request through the model
+      call anyway (that call is where DRAM trace slices originate, in
+      the event engine's order: transfers fire during op modelling,
+      before the op's own stall/issue slices).
+    * The op's ``ready`` / grant time ``t`` pair feeds the attribution
+      carve: for a popped warp they are the heap key and
+      ``max(ready, issued_until)``; for a run-batched op both collapse
+      to ``nr`` (the event engine would have pushed and immediately
+      popped the warp keyed ``nr``, with ``issued_until`` equal to the
+      previous ``issue_done <= nr``).
+    * Writeback state lives in pc-indexed per-warp arrays instead of
+      the collector's reg-keyed pending dict: ``comp`` already holds
+      every producer's completion, and ``wcaus`` / ``wconf`` /
+      ``wmshr`` hold its latency class -- initialised to the static
+      per-op cause from :func:`~repro.compiler.columnar.sig_obs_rows`
+      (RAW, or MEMORY for texture) with zero shares, written only on
+      escalation, exactly as the event loop decides it: cache-missing
+      or MSHR-merging loads and every uncached load become MEMORY;
+      stores and shared ops stay RAW.  The memory-side conflict share
+      is recovered from the fused columns (``penalty == a`` for global
+      rows, ``a - 1.0`` for shared rows; both exact, the columns are
+      float-converted integers).  The dependency scan walks the static
+      producer pcs in operand order, so the strict-maximum tie-break
+      matches the pending-dict scan entry for entry.
+
+    Barrier arrivals attribute their issue before handing back, so the
+    caller's CTA coordination only owes the ``resume`` / ``complete`` /
+    CTA-lifetime hooks.
+    """
+    dram_request = dram.request
+    hit_latency = float(cfg.cache_hit_latency)
+    line_bytes = cfg.cache_line_bytes
+    txn_bytes = cfg.dram_transaction_bytes
+    desch_lat = cfg.deschedule_latency
+    desch_thr = cfg.deschedule_threshold if desch_lat else float("inf")
+    issued_until = 0.0
+    mem_port_free = 0.0
+    if mshr is not None:
+        mshr_outstanding = mshr.outstanding
+        mshr_entry_free = mshr.entry_free_at
+        mshr_allocate = mshr.allocate
+
+    # Inlined cache probe as in make_warp_runner (same arithmetic, same
+    # order); the hit/miss boolean doubles as the cache_access sample.
+    cache_sets = cache._sets
+    num_sets = cache.num_sets
+    cache_assoc = cache.assoc
+    stats = cache.stats
+    c_rhit = stats.read_hits
+    c_rmiss = stats.read_misses
+    c_whit = stats.write_hits
+    c_wmiss = stats.write_misses
+
+    # Collector internals, hoisted.  cache_access only feeds the
+    # sampler and issue's trace work only fires with a trace buffer, so
+    # a plain profiling collector reduces both to a None check.
+    sampler = obs.sampler
+    trace = obs.trace
+    samp_instr = sampler.add_instruction if sampler is not None else None
+    samp_cache = sampler.add_cache_access if sampler is not None else None
+    trace_slice = trace.slice if trace is not None else None
+    CAUSES = STALL_CAUSES
+    BANK = CAUSE_BANK_CONFLICT
+    MSHRF = CAUSE_MSHR_FULL
+    PORT = CAUSE_ISSUE_PORT
+    DESCH = CAUSE_DESCHEDULE
+
+    def sync():
+        stats.read_hits = c_rhit
+        stats.read_misses = c_rmiss
+        stats.write_hits = c_whit
+        stats.write_misses = c_wmiss
+
+    def state():
+        sync()
+        return issued_until, mem_port_free
+
+    def run(w: _ColWarp, ready: float, limit: float):
+        nonlocal issued_until, mem_port_free
+        nonlocal c_rhit, c_rmiss, c_whit, c_wmiss
+        rows = w.rows
+        orows = w.obs_rows
+        comp = w.comp
+        wid = w.wid
+        ws = w.ws
+        cursor = ws.cursor
+        stalls = ws.stalls
+        wcaus = w.wcaus
+        wconf = w.wconf
+        wmshr = w.wmshr
+        pc = w.pc
+        mpf = mem_port_free
+        t = ready if ready > issued_until else issued_until
+        kind, a, b, aux, deps = rows[pc]
+        while True:
+            name, prods, dst = orows[pc]
+            if kind == 0:  # ALU / SFU / TEX
+                issue_done = t + a
+                completion = t + b
+                comp[pc] = completion
+            elif kind != 6:  # memory
+                issue_done = t + 1.0
+                port_start = issue_done if issue_done > mpf else mpf
+                if kind == 1:  # shared load / store
+                    mpf = port_start + a
+                    completion = port_start + b
+                    comp[pc] = completion
+                    if dst is not None:
+                        wconf[pc] = (port_start - issue_done) + (a - 1.0)
+                else:
+                    data_ready = port_start + a
+                    mpf = port_start + b
+                    if dst is not None:
+                        wconf[pc] = (port_start - issue_done) + a
+                    if kind == 2:  # global/local load through the cache
+                        completion = data_ready
+                        wb_ci = CI_RAW
+                        if mshr is None:  # legacy blocking miss model
+                            for li in aux[1]:
+                                ss = cache_sets[li % num_sets]
+                                if li in ss:
+                                    ss.move_to_end(li)
+                                    c_rhit += 1
+                                    done = data_ready + hit_latency
+                                    if samp_cache is not None:
+                                        samp_cache(data_ready, True)
+                                else:
+                                    c_rmiss += 1
+                                    if len(ss) >= cache_assoc:
+                                        ss.popitem(last=False)
+                                    ss[li] = None
+                                    done = dram_request(
+                                        data_ready, line_bytes
+                                    )
+                                    wb_ci = CI_MEMORY
+                                    if samp_cache is not None:
+                                        samp_cache(data_ready, False)
+                                if done > completion:
+                                    completion = done
+                        else:  # non-blocking MSHR arm
+                            mshr_wait = 0.0
+                            cur = data_ready
+                            for seg in aux[0]:
+                                li = seg // line_bytes
+                                ss = cache_sets[li % num_sets]
+                                if li in ss:
+                                    ss.move_to_end(li)
+                                    c_rhit += 1
+                                    hit = True
+                                else:
+                                    c_rmiss += 1
+                                    if len(ss) >= cache_assoc:
+                                        ss.popitem(last=False)
+                                    ss[li] = None
+                                    hit = False
+                                if samp_cache is not None:
+                                    samp_cache(cur, hit)
+                                fill = mshr_outstanding(seg, cur)
+                                if fill is not None:
+                                    mshr.secondary_merges += 1
+                                    wb_ci = CI_MEMORY
+                                    done = fill
+                                elif hit:
+                                    done = cur + hit_latency
+                                else:
+                                    free = mshr_entry_free(cur)
+                                    if free > cur:
+                                        mshr.full_stalls += 1
+                                        mshr.full_stall_cycles += free - cur
+                                        mshr_wait += free - cur
+                                        cur = free
+                                    done = dram_request(cur, line_bytes, seg)
+                                    mshr_allocate(seg, done, cur)
+                                    wb_ci = CI_MEMORY
+                                if done > completion:
+                                    completion = done
+                            if cur > mpf:
+                                mpf = cur
+                            if mshr_wait and dst is not None:
+                                wmshr[pc] = mshr_wait
+                        comp[pc] = completion
+                        # The pc-indexed writeback arrays start at the
+                        # static latency class (RAW cause, zero shares),
+                        # so only escalations need a store.
+                        if dst is not None and wb_ci != CI_RAW:
+                            wcaus[pc] = wb_ci
+                    elif kind == 3:  # uncached load: per-sector DRAM
+                        completion = data_ready
+                        if dst is not None:
+                            wcaus[pc] = CI_MEMORY
+                        for _ in range(aux):
+                            done = dram_request(data_ready, txn_bytes)
+                            if done > completion:
+                                completion = done
+                        comp[pc] = completion
+                    elif kind == 4:  # cached store: write-through bursts
+                        completion = issue_done
+                        for li in aux[1]:
+                            ss = cache_sets[li % num_sets]
+                            if li in ss:
+                                ss.move_to_end(li)
+                                c_whit += 1
+                                if samp_cache is not None:
+                                    samp_cache(data_ready, True)
+                            else:
+                                c_wmiss += 1
+                                if samp_cache is not None:
+                                    samp_cache(data_ready, False)
+                        if mshr is None:
+                            for nb in aux[2]:
+                                dram_request(data_ready, nb)
+                        else:
+                            for seg, nb in zip(aux[0], aux[2]):
+                                dram_request(data_ready, nb, seg)
+                        comp[pc] = issue_done
+                    else:  # kind == 5, uncached store
+                        completion = issue_done
+                        for _ in range(aux):
+                            dram_request(data_ready, txn_bytes)
+                        comp[pc] = issue_done
+            else:  # BARRIER: attribute the issue, then hand back
+                issue_done = t + 1.0
+
+            # ---- Collector.issue, inlined (same expressions/guards) --
+            if ready > cursor:
+                # Dependency wait: the producer with the latest
+                # completion determined readiness; carve its wait into
+                # bank-conflict, MSHR-full, and producer-cause shares.
+                # ``prods`` lists the static last writer of each source
+                # register in operand order -- the same entries, in the
+                # same order, that ``Collector.issue`` finds scanning
+                # the pending dict, so the strict-maximum tie-break
+                # picks the same producer.
+                dep_end = cursor
+                best = -1
+                for d in prods:
+                    c = comp[d]
+                    if c > dep_end:
+                        dep_end = c
+                        best = d
+                if dep_end > ready:
+                    dep_end = ready
+                if dep_end > cursor:
+                    # A winning producer exists (dep_end moved), so
+                    # ``best`` indexes its writeback latency class.
+                    conflict = wconf[best]
+                    mshrw = wmshr[best]
+                    wait = dep_end - cursor
+                    bank = conflict if conflict < wait else wait
+                    rest = wait - bank
+                    msh = mshrw if mshrw < rest else rest
+                    cb = cursor + bank
+                    cbm = cb + msh
+                    if bank > 0.0 and cb > cursor:
+                        stalls[BANK] = stalls.get(BANK, 0.0) + (cb - cursor)
+                        if trace_slice is not None:
+                            trace_slice(
+                                PID_WARPS, wid, BANK, "stall",
+                                cursor, cb - cursor,
+                            )
+                    if msh > 0.0 and cbm > cb:
+                        stalls[MSHRF] = stalls.get(MSHRF, 0.0) + (cbm - cb)
+                        if trace_slice is not None:
+                            trace_slice(
+                                PID_WARPS, wid, MSHRF, "stall", cb, cbm - cb
+                            )
+                    if dep_end > cbm:
+                        cause = CAUSES[wcaus[best]]
+                        stalls[cause] = (
+                            stalls.get(cause, 0.0) + (dep_end - cbm)
+                        )
+                        if trace_slice is not None:
+                            trace_slice(
+                                PID_WARPS, wid, cause, "stall",
+                                cbm, dep_end - cbm,
+                            )
+                    cursor = dep_end
+                if ready > cursor:
+                    # Two-level scheduler reactivation latency.
+                    stalls[DESCH] = stalls.get(DESCH, 0.0) + (ready - cursor)
+                    if trace_slice is not None:
+                        trace_slice(
+                            PID_WARPS, wid, DESCH, "stall",
+                            cursor, ready - cursor,
+                        )
+                    cursor = ready
+            if t > cursor:
+                stalls[PORT] = stalls.get(PORT, 0.0) + (t - cursor)
+                if trace_slice is not None:
+                    trace_slice(
+                        PID_WARPS, wid, PORT, "stall", cursor, t - cursor
+                    )
+            t1 = t + 1.0
+            if issue_done > t1:
+                stalls[BANK] = stalls.get(BANK, 0.0) + (issue_done - t1)
+                if trace_slice is not None:
+                    trace_slice(
+                        PID_WARPS, wid, BANK, "stall", t1, issue_done - t1
+                    )
+            cursor = issue_done
+            if samp_instr is not None:
+                samp_instr(t)
+            if trace_slice is not None:
+                trace_slice(PID_WARPS, wid, name, "issue", t, issue_done - t)
+            if kind == 6:  # barrier: hand back for CTA coordination
+                # Ops issued == pc for an in-order replay, so the
+                # collector's issue counter is the resume pc itself.
+                w.pc = pc + 1
+                issued_until = issue_done
+                mem_port_free = mpf
+                ws.cursor = cursor
+                ws.issue_cycles = pc + 1
+                return 1, t
+            pc += 1
+            kind, a, b, aux, deps = rows[pc]
+            nr = issue_done
+            if deps:
+                for d in deps:
+                    c = comp[d]
+                    if c > nr:
+                        nr = c
+            elif deps is None:  # R_END sentinel: warp retired
+                w.pc = pc
+                issued_until = issue_done
+                mem_port_free = mpf
+                ws.cursor = cursor
+                ws.issue_cycles = pc
+                return 2, issue_done
+            if desch_lat and nr - issue_done > desch_thr:
+                nr += desch_lat
+            if nr < limit:
+                # Run-batched op: the event engine would push the warp
+                # keyed ``nr`` and pop it right back, so its ready and
+                # grant times both equal ``nr``.
+                t = nr
+                ready = nr
+                continue
+            w.pc = pc
+            issued_until = issue_done
+            mem_port_free = mpf
+            ws.cursor = cursor
+            ws.issue_cycles = pc
+            return 0, nr
+
+    return run, state
+
+
 def replay_simulate(
     kernel: CompiledKernel,
     partition: MemoryPartition,
@@ -403,18 +826,27 @@ def replay_simulate(
     thread_target: int | None = None,
     dram=None,
     cta_source=None,
+    collector=None,
 ) -> SimResult:
     """Single-SM simulation on the columnar replay core.
 
-    Same contract and result as :func:`repro.sm.simulator.simulate`
-    with no collector; the dispatch seam there routes here when
-    ``config.engine == "columnar"`` and no live collector is attached.
-    The warp-step body is :func:`make_warp_runner`'s, inlined into one
-    frame so a pop costs no Python call.
+    Same contract and result as :func:`repro.sm.simulator.simulate`;
+    the dispatch seam there routes here when
+    ``config.engine == "columnar"`` and the kernel is warm.  With no
+    live collector the warp-step body is :func:`make_warp_runner`'s,
+    inlined into one frame so a pop costs no Python call; a live
+    collector delegates to the instrumented loop built around
+    :func:`make_warp_runner_obs`, which fires the same hooks as the
+    event engine at the same times.
     """
     from repro.sm.simulator import SimulationError
 
     cfg = config or SMConfig()
+    obs = collector if collector is not None and collector.enabled else None
+    if obs is not None:
+        return _replay_simulate_obs(
+            kernel, partition, cfg, thread_target, dram, cta_source, obs
+        )
     scheduler = CTAScheduler(
         kernel, partition, thread_target, cta_source=cta_source
     )
@@ -792,7 +1224,24 @@ def replay_simulate(
         dram.busy_cycles = dram_busy
         dram._last_request_time = dram_last
 
-    # ---- merge the spawn-time static totals ---------------------------
+    end = max(issued_until, mem_port_free, dram.free_at)
+    return _replay_result(
+        kernel, partition, scheduler, banks, cache, dram, mshr, spawned,
+        end, {},
+    )
+
+
+def _replay_result(
+    kernel, partition, scheduler, banks, cache, dram, mshr, spawned,
+    end, stall_cycles,
+) -> SimResult:
+    """Merge spawn-time static totals and assemble the ``SimResult``.
+
+    Shared epilogue of the uninstrumented and instrumented replay
+    loops; model counters must already be written back (the inlined
+    cache/DRAM locals in :func:`replay_simulate`, ``state()`` in the
+    instrumented path).
+    """
     totals = (
         [sum(col) for col in zip(*spawned)] if spawned else [0] * N_TOTALS
     )
@@ -822,7 +1271,6 @@ def replay_simulate(
     counts.tag_lookups = tags
     counts.dram_bits = dram.bits_transferred
 
-    end = max(issued_until, mem_port_free, dram.free_at)
     notes: dict = {}
     if mshr is not None:
         memsys = {"mshr": mshr.stats()}
@@ -845,6 +1293,537 @@ def replay_simulate(
         dram_bytes=dram.bytes_transferred,
         energy_counts=counts,
         limiting_resource=scheduler.limits.limiting_resource,
-        stall_cycles={},
+        stall_cycles=stall_cycles,
         notes=notes,
+    )
+
+
+def _replay_simulate_obs(
+    kernel: CompiledKernel,
+    partition: MemoryPartition,
+    cfg: SMConfig,
+    thread_target,
+    dram,
+    cta_source,
+    obs,
+) -> SimResult:
+    """Instrumented single-SM replay: collector hooks at event order.
+
+    The CTA choreography (spawn, barrier release, retire) mirrors the
+    event loop's hook sequence exactly -- ``cta_launch`` before the
+    per-warp ``spawn``/push pairs, ``resume`` for every released warp
+    before it is re-keyed, ``complete``/``cta_retire`` at the same
+    timestamps -- so collector state, trace event order, and interval
+    samples are byte-identical to the event engine's.
+    """
+    from repro.sm.simulator import SimulationError
+
+    scheduler = CTAScheduler(
+        kernel, partition, thread_target, cta_source=cta_source
+    )
+    banks = make_bank_model(partition, cluster_port=cfg.cluster_port_banks)
+    cache = DataCache(
+        partition.cache_bytes,
+        assoc=cfg.cache_assoc,
+        line_bytes=cfg.cache_line_bytes,
+        misaligned="floor",
+    )
+    if dram is None:
+        dram = cfg.make_dram_channel(observer=obs.dram_transfer)
+    mshr = cfg.make_mshr_file()
+    cache_enabled = cache.enabled
+    barrier_latency = cfg.barrier_latency
+
+    dram_request = dram.request
+    hit_latency = float(cfg.cache_hit_latency)
+    line_bytes = cfg.cache_line_bytes
+    txn_bytes = cfg.dram_transaction_bytes
+    desch_lat = cfg.deschedule_latency
+    desch_thr = cfg.deschedule_threshold if desch_lat else float("inf")
+    if mshr is not None:
+        mshr_outstanding = mshr.outstanding
+        mshr_entry_free = mshr.entry_free_at
+        mshr_allocate = mshr.allocate
+
+    # Inlined cache probe as in replay_simulate; no fast_dram arm --
+    # the collector's transfer observer keeps every request on the
+    # model call, which is where DRAM trace slices originate.
+    cache_sets = cache._sets
+    num_sets = cache.num_sets
+    cache_assoc = cache.assoc
+    c_rhit = c_rmiss = c_whit = c_wmiss = 0
+
+    # Collector internals, hoisted as in make_warp_runner_obs.  Stall
+    # charges go to the warp's ``wstal`` float list, indexed by the
+    # CI_* cause indices, and are folded into the collector's dicts
+    # once, before ``finish`` -- trace slices (the only consumer that
+    # needs cause *names* mid-run) convert through ``CAUSES``.
+    sampler = obs.sampler
+    trace = obs.trace
+    samp_instr = sampler.add_instruction if sampler is not None else None
+    samp_cache = sampler.add_cache_access if sampler is not None else None
+    trace_slice = trace.slice if trace is not None else None
+    # A plain profiling collector (no sampler, no trace) is the common
+    # instrumented shape; one hoisted flag folds its per-op hook checks
+    # into a single branch.
+    lite = samp_instr is None and trace_slice is None
+    CAUSES = STALL_CAUSES
+    BANK = CAUSE_BANK_CONFLICT
+    MSHRF = CAUSE_MSHR_FULL
+    PORT = CAUSE_ISSUE_PORT
+    DESCH = CAUSE_DESCHEDULE
+    iBANK = CI_BANK
+    iMSHR = CI_MSHR
+    iPORT = CI_PORT
+    iDESCH = CI_DESCH
+
+    INF = float("inf")
+    # Heap entries carry what EVERY op touches -- (key, seq, warp, pc,
+    # rows, comp, cursor, stall accumulator, dep max, dep argmax); the
+    # colder obs columns (wconf / wmshr / wcaus, obs rows, warp id,
+    # _WarpObs) load from the warp object only on the branches that
+    # consume them, so the per-yield tuple build/unpack stays lean.
+    #
+    # ``cursor`` rides in the entry instead of syncing through the
+    # _WarpObs every park/pop: while a warp sits in this heap nothing
+    # reads or writes its _WarpObs cursor (``resume`` only ever touches
+    # barrier-waiting warps, which left the heap at their arrival
+    # break), and a barrier release re-pushes warps with
+    # ``cursor == release``, exactly the post-``resume`` value.  The
+    # _WarpObs is re-synced at every barrier/retire break, i.e. before
+    # anything (resume / complete / finish / conservation) reads it.
+    #
+    # ``dep max`` / ``dep argmax`` fuse the attribution's producer scan
+    # into the scheduling scan: ``deps`` is the first-occurrence dedup,
+    # in source-operand order, of the producer list ``Collector.issue``
+    # walks, so the first strict maximum over either picks the same
+    # producer (duplicates can never win a strict comparison against
+    # their own completion) and the maxima are equal.  Producer
+    # completions are final by the time either scan runs (in-order
+    # replay: every producer pc has issued), so the values computed at
+    # scheduling time still hold at issue time.
+    heap: list = [(INF, 0, None, 0, (), None, 0.0, (), -1.0, -1)]
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    heappushpop = heapq.heappushpop
+    seq = 0
+    warp_serial = 0
+    spawned: list = []
+    all_warps: list = []
+    plans: dict = {}
+    sig_rows = _sig_table(kernel, cfg.cache_line_bytes)
+
+    def spawn_cta(now: float) -> bool:
+        nonlocal seq, warp_serial
+        resident = scheduler.launch_next()
+        if resident is None:
+            return False
+        pkey = (id(sig_rows[resident.index]), resident.shared_base)
+        plan = plans.get(pkey)
+        if plan is None:
+            plan = plans[pkey] = cta_plan(
+                kernel, banks, resident.shared_base, cfg, cache_enabled,
+                resident.index,
+            )
+        progs, ctot = plan
+        obs.cta_launch(resident.index, now, len(progs))
+        for wi, prog in enumerate(progs):
+            w = _ColWarp(
+                prog, resident, wid=warp_serial,
+                obs_rows=sig_obs_rows(prog.sig),
+            )
+            warp_serial += 1
+            obs.spawn(w.wid, resident.index, wi, now)
+            w.ws = obs.warps[w.wid]
+            all_warps.append(w)
+            heappush(
+                heap,
+                (now, seq, w, 0, w.rows, w.comp, now, w.wstal, -1.0, -1),
+            )
+            seq += 1
+        spawned.append(ctot)
+        return True
+
+    live_ctas = 0
+    for _ in range(scheduler.max_concurrent):
+        if spawn_cta(0.0):
+            live_ctas += 1
+
+    issued_until = 0.0
+    mem_port_free = 0.0
+    while True:
+        item = heappop(heap)
+        (ready, _, w, pc, rows, comp, cursor, wstal, dep_max,
+         dep_best) = item
+        if w is None:  # sentinel popped: no runnable warp left
+            break
+        limit = heap[0][0]
+        t = ready if ready > issued_until else issued_until
+        kind, a, b, aux, deps = rows[pc]
+        # ---- warp run: make_warp_runner_obs's body, inlined into this
+        # frame (plain locals instead of closure cells, one
+        # heappushpop per yield).  Timing arithmetic is
+        # make_warp_runner's; attribution is Collector.issue's, charged
+        # against the popped warp's own _WarpObs state.
+        while True:
+            if kind == 0:  # ALU / SFU / TEX
+                issue_done = t + a
+                comp[pc] = t + b
+            elif kind != 6:  # memory
+                # Only memory arms consult the obs columns mid-op (the
+                # destination register gating the writeback-class
+                # stores); ALU rows skip the lookups entirely.
+                dst = w.odst[pc]
+                issue_done = t + 1.0
+                port_start = (
+                    issue_done if issue_done > mem_port_free
+                    else mem_port_free
+                )
+                if kind == 1:  # shared load / store
+                    mem_port_free = port_start + a
+                    comp[pc] = port_start + b
+                    if dst is not None:
+                        w.wconf[pc] = (port_start - issue_done) + (a - 1.0)
+                else:
+                    data_ready = port_start + a
+                    mem_port_free = port_start + b
+                    if dst is not None:
+                        w.wconf[pc] = (port_start - issue_done) + a
+                    if kind == 2:  # global/local load through the cache
+                        completion = data_ready
+                        wb_ci = CI_RAW
+                        if mshr is None:  # legacy blocking miss model
+                            for li in aux[1]:
+                                ss = cache_sets[li % num_sets]
+                                if li in ss:
+                                    ss.move_to_end(li)
+                                    c_rhit += 1
+                                    done = data_ready + hit_latency
+                                    if samp_cache is not None:
+                                        samp_cache(data_ready, True)
+                                else:
+                                    c_rmiss += 1
+                                    if len(ss) >= cache_assoc:
+                                        ss.popitem(last=False)
+                                    ss[li] = None
+                                    done = dram_request(
+                                        data_ready, line_bytes
+                                    )
+                                    wb_ci = CI_MEMORY
+                                    if samp_cache is not None:
+                                        samp_cache(data_ready, False)
+                                if done > completion:
+                                    completion = done
+                        else:  # non-blocking MSHR arm
+                            mshr_wait = 0.0
+                            cur = data_ready
+                            for seg in aux[0]:
+                                li = seg // line_bytes
+                                ss = cache_sets[li % num_sets]
+                                if li in ss:
+                                    ss.move_to_end(li)
+                                    c_rhit += 1
+                                    hit = True
+                                else:
+                                    c_rmiss += 1
+                                    if len(ss) >= cache_assoc:
+                                        ss.popitem(last=False)
+                                    ss[li] = None
+                                    hit = False
+                                if samp_cache is not None:
+                                    samp_cache(cur, hit)
+                                fill = mshr_outstanding(seg, cur)
+                                if fill is not None:
+                                    mshr.secondary_merges += 1
+                                    wb_ci = CI_MEMORY
+                                    done = fill
+                                elif hit:
+                                    done = cur + hit_latency
+                                else:
+                                    free = mshr_entry_free(cur)
+                                    if free > cur:
+                                        mshr.full_stalls += 1
+                                        mshr.full_stall_cycles += free - cur
+                                        mshr_wait += free - cur
+                                        cur = free
+                                    done = dram_request(cur, line_bytes, seg)
+                                    mshr_allocate(seg, done, cur)
+                                    wb_ci = CI_MEMORY
+                                if done > completion:
+                                    completion = done
+                            if cur > mem_port_free:
+                                mem_port_free = cur
+                            if mshr_wait and dst is not None:
+                                w.wmshr[pc] = mshr_wait
+                        comp[pc] = completion
+                        # Writeback arrays start at the static latency
+                        # class (RAW, zero shares): store escalations
+                        # only.
+                        if dst is not None and wb_ci != CI_RAW:
+                            w.wcaus[pc] = wb_ci
+                    elif kind == 3:  # uncached load: per-sector DRAM
+                        completion = data_ready
+                        if dst is not None:
+                            w.wcaus[pc] = CI_MEMORY
+                        for _ in range(aux):
+                            done = dram_request(data_ready, txn_bytes)
+                            if done > completion:
+                                completion = done
+                        comp[pc] = completion
+                    elif kind == 4:  # cached store: write-through bursts
+                        for li in aux[1]:
+                            ss = cache_sets[li % num_sets]
+                            if li in ss:
+                                ss.move_to_end(li)
+                                c_whit += 1
+                                if samp_cache is not None:
+                                    samp_cache(data_ready, True)
+                            else:
+                                c_wmiss += 1
+                                if samp_cache is not None:
+                                    samp_cache(data_ready, False)
+                        if mshr is None:
+                            for nb in aux[2]:
+                                dram_request(data_ready, nb)
+                        else:
+                            for seg, nb in zip(aux[0], aux[2]):
+                                dram_request(data_ready, nb, seg)
+                        comp[pc] = issue_done
+                    else:  # kind == 5, uncached store
+                        for _ in range(aux):
+                            dram_request(data_ready, txn_bytes)
+                        comp[pc] = issue_done
+            else:  # BARRIER: attribute the issue, then hand back
+                issue_done = t + 1.0
+
+            # ---- Collector.issue, inlined (same expressions/guards) --
+            if ready > cursor:
+                # Dependency wait: the winning producer and its
+                # completion were computed by the scheduling scan that
+                # keyed this op (``dep_max`` / ``dep_best``), which
+                # walks the dedup of the same producer list, in the
+                # same order, that Collector.issue finds in its pending
+                # dict -- the strict-maximum tie-break picks the same
+                # producer.
+                dep_end = dep_max if dep_max < ready else ready
+                if dep_end > cursor:
+                    # A winning producer exists (dep_end moved), so
+                    # ``dep_best`` indexes its writeback latency class.
+                    # Carve its wait into bank-conflict, MSHR-full, and
+                    # producer-cause shares, each capped by what
+                    # remains.
+                    conflict = w.wconf[dep_best]
+                    mshrw = w.wmshr[dep_best]
+                    wait = dep_end - cursor
+                    bank = conflict if conflict < wait else wait
+                    rest = wait - bank
+                    msh = mshrw if mshrw < rest else rest
+                    cb = cursor + bank
+                    cbm = cb + msh
+                    if bank > 0.0 and cb > cursor:
+                        wstal[iBANK] += cb - cursor
+                        if trace_slice is not None:
+                            trace_slice(
+                                PID_WARPS, w.wid, BANK, "stall",
+                                cursor, cb - cursor,
+                            )
+                    if msh > 0.0 and cbm > cb:
+                        wstal[iMSHR] += cbm - cb
+                        if trace_slice is not None:
+                            trace_slice(
+                                PID_WARPS, w.wid, MSHRF, "stall", cb, cbm - cb
+                            )
+                    if dep_end > cbm:
+                        ci = w.wcaus[dep_best]
+                        wstal[ci] += dep_end - cbm
+                        if trace_slice is not None:
+                            trace_slice(
+                                PID_WARPS, w.wid, CAUSES[ci], "stall",
+                                cbm, dep_end - cbm,
+                            )
+                    cursor = dep_end
+                if ready > cursor:
+                    # Two-level scheduler reactivation latency.
+                    wstal[iDESCH] += ready - cursor
+                    if trace_slice is not None:
+                        trace_slice(
+                            PID_WARPS, w.wid, DESCH, "stall",
+                            cursor, ready - cursor,
+                        )
+                    cursor = ready
+            if t > cursor:
+                wstal[iPORT] += t - cursor
+                if trace_slice is not None:
+                    trace_slice(
+                        PID_WARPS, w.wid, PORT, "stall", cursor, t - cursor
+                    )
+            t1 = t + 1.0
+            if issue_done > t1:
+                wstal[iBANK] += issue_done - t1
+                if trace_slice is not None:
+                    trace_slice(
+                        PID_WARPS, w.wid, BANK, "stall", t1, issue_done - t1
+                    )
+            cursor = issue_done
+            if not lite:
+                if samp_instr is not None:
+                    samp_instr(t)
+                if trace_slice is not None:
+                    trace_slice(
+                        PID_WARPS, w.wid, w.obs_rows[pc][0], "issue",
+                        t, issue_done - t,
+                    )
+            if kind == 6:  # barrier: break out for CTA coordination
+                # Re-sync the _WarpObs before CTA coordination reads it
+                # (resume / complete charge from its cursor).  Ops
+                # issued == pc for an in-order replay, so the
+                # collector's issue counter is the resume pc itself --
+                # no running counter in the loop.
+                w.pc = pc + 1
+                issued_until = issue_done
+                ws = w.ws
+                ws.cursor = cursor
+                ws.issue_cycles = pc + 1
+                code = 1
+                value = t
+                break
+            pc += 1
+            kind, a, b, aux, deps = rows[pc]
+            nr = issue_done
+            dep_max = -1.0
+            dep_best = -1
+            if deps:
+                # Scheduling scan, fused with the attribution scan: the
+                # first strict maximum over the dedup'd producers is
+                # the producer Collector.issue would blame.
+                for d in deps:
+                    c = comp[d]
+                    if c > dep_max:
+                        dep_max = c
+                        dep_best = d
+                if dep_max > nr:
+                    nr = dep_max
+            elif deps is None:  # R_END sentinel: warp retired
+                issued_until = issue_done
+                ws = w.ws
+                ws.cursor = cursor
+                ws.issue_cycles = pc
+                code = 2
+                value = issue_done
+                break
+            if desch_lat and nr - issue_done > desch_thr:
+                nr += desch_lat
+            if nr < limit:
+                # Run-batched op: the event engine would push the warp
+                # keyed ``nr`` and pop it right back, so its ready and
+                # grant times both equal ``nr``.
+                t = nr
+                ready = nr
+                continue
+            # Yield: park this warp keyed ``nr`` (cursor rides in the
+            # entry; nothing reads the _WarpObs of a heap-parked warp)
+            # and resume whichever is now earliest -- one heap
+            # operation.
+            issued_until = issue_done
+            item = heappushpop(
+                heap,
+                (nr, seq, w, pc, rows, comp, cursor, wstal, dep_max,
+                 dep_best),
+            )
+            seq += 1
+            (ready, _, w, pc, rows, comp, cursor, wstal, dep_max,
+             dep_best) = item
+            limit = heap[0][0]
+            t = ready if ready > issued_until else issued_until
+            kind, a, b, aux, deps = rows[pc]
+        # ---- irregular outcomes: retire / barrier --------------------
+        if code == 2:  # warp retired at cycle ``value``
+            obs.complete(w.wid, value)
+            cta = w.cta
+            cta.warps_outstanding -= 1
+            if cta.warps_outstanding == 0:
+                if cta.waiting_warps:
+                    raise SimulationError(
+                        f"CTA {cta.index} finished with warps still at a "
+                        "barrier"
+                    )
+                scheduler.retire(cta)
+                obs.cta_retire(cta.index, value)
+                live_ctas -= 1
+                if spawn_cta(value):
+                    live_ctas += 1
+        else:  # barrier arrival at cycle ``value``
+            cta = w.cta
+            cta.barrier_count += 1
+            if cta.barrier_count == cta.warps_outstanding:
+                cta.barrier_count = 0
+                waiting = cta.waiting_warps
+                cta.waiting_warps = []
+                release = value + 1 + barrier_latency
+                for other in (*waiting, w):
+                    obs.resume(other.wid, release, CAUSE_BARRIER)
+                    if other.pc < other.n_ops:
+                        # _release_key's scan, fused with the dep
+                        # argmax the attribution needs at the next pop.
+                        comp_o = other.comp
+                        dep_max = -1.0
+                        dep_best = -1
+                        for d in other.rows[other.pc][4]:
+                            c = comp_o[d]
+                            if c > dep_max:
+                                dep_max = c
+                                dep_best = d
+                        # ``resume`` just set the warp's cursor to
+                        # ``release``; the heap entry carries that value.
+                        key = release if release > dep_max else dep_max
+                        heappush(
+                            heap,
+                            (key, seq, other, other.pc, other.rows,
+                             comp_o, release, other.wstal, dep_max,
+                             dep_best),
+                        )
+                        seq += 1
+                    else:
+                        # A warp whose last instruction is a barrier.
+                        cta.warps_outstanding -= 1
+                        obs.complete(other.wid, release)
+                if cta.warps_outstanding == 0:
+                    scheduler.retire(cta)
+                    obs.cta_retire(cta.index, release)
+                    live_ctas -= 1
+                    if spawn_cta(release):
+                        live_ctas += 1
+            else:
+                cta.waiting_warps.append(w)
+
+    if scheduler.remaining:
+        raise SimulationError(f"{scheduler.remaining} CTAs were never launched")
+    if live_ctas:
+        raise SimulationError(f"{live_ctas} CTAs never finished")
+
+    # ---- write the inlined model counters back ------------------------
+    st = cache.stats
+    st.read_hits = c_rhit
+    st.read_misses = c_rmiss
+    st.write_hits = c_whit
+    st.write_misses = c_wmiss
+
+    # Fold the per-warp stall accumulators into the collector before
+    # ``finish`` (which adds the NOT_RESIDENT charge itself).  Exact:
+    # every stall quantity is an integer-valued float, so one deferred
+    # add per cause equals the event engine's incremental adds, and
+    # nothing serializes per-warp dict insertion order (stall_totals
+    # re-keys through STALL_CAUSES, conservation uses fsum).
+    for w in all_warps:
+        stalls = w.ws.stalls
+        for ci, v in enumerate(w.wstal):
+            if v:
+                cause = CAUSES[ci]
+                stalls[cause] = stalls.get(cause, 0.0) + v
+
+    end = max(issued_until, mem_port_free, dram.free_at)
+    obs.finish(end)
+    return _replay_result(
+        kernel, partition, scheduler, banks, cache, dram, mshr, spawned,
+        end, obs.stall_totals(),
     )

@@ -82,6 +82,23 @@ class _WarpState:
         return ready
 
 
+def resolved_engine(kernel: CompiledKernel, config: SMConfig | None) -> str:
+    """Engine the *next* ``simulate`` of ``kernel`` would actually run.
+
+    The dispatch seam above is tiered: even under
+    ``engine == "columnar"`` a kernel's first simulation runs the event
+    core (and warms the plan cache), so the configured engine and the
+    executed one can differ.  Callers that record provenance (run
+    manifests, ``Runner.sim_metrics``) ask here instead of duplicating
+    the warm-key rule.
+    """
+    cfg = config or SMConfig()
+    if cfg.engine != "columnar":
+        return "event"
+    warm_key = ("colwarm", cfg.cache_line_bytes)
+    return "columnar" if warm_key in kernel._plan_cache else "event"
+
+
 def simulate(
     kernel: CompiledKernel,
     partition: MemoryPartition,
@@ -133,12 +150,12 @@ def simulate(
     """
     cfg = config or SMConfig()
     obs = collector if collector is not None and collector.enabled else None
-    if cfg.engine == "columnar" and obs is None:
-        # Dispatch seam: uninstrumented runs replay precompiled
-        # columnar warp programs (bit-identical results, ~2x faster
-        # once lowered); a live collector needs the per-op event loop
-        # below, so instrumented runs fall back transparently -- same
-        # numbers, legacy speed (see repro.sm.replay).
+    if cfg.engine == "columnar":
+        # Dispatch seam: warm kernels replay precompiled columnar warp
+        # programs (bit-identical results, ~2x faster once lowered) --
+        # instrumented or not; a live collector routes to the replay
+        # loop's instrumented runner, which fires the same hooks as the
+        # event loop below at the same times (see repro.sm.replay).
         #
         # Tiered warm-up: lowering a kernel (signatures + programs)
         # costs about as much as one event-engine run, so it only pays
@@ -157,6 +174,7 @@ def simulate(
                 thread_target=thread_target,
                 dram=dram,
                 cta_source=cta_source,
+                collector=collector,
             )
         kernel._plan_cache[warm_key] = True
     scheduler = CTAScheduler(kernel, partition, thread_target, cta_source=cta_source)

@@ -120,7 +120,7 @@ class TestJournal:
         src.journal_reset()
         ref = src.baseline("vectoradd")
         entries = src.journal_reset()
-        assert {kind for kind, _, _ in entries} == {"sim", "summary"}
+        assert {kind for kind, _, _ in entries} == {"sim", "summary", "engine"}
 
         dst = Runner("tiny")
         dst.adopt(entries)

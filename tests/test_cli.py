@@ -219,6 +219,34 @@ class TestProfileAndTrace:
             json.loads((tmp_path / "needle.trace.json").read_text())
         ) == []
 
+    @pytest.mark.parametrize("command", ("profile", "trace"))
+    def test_no_engine_fallback_note(self, capsys, tmp_path, command):
+        """Instrumented columnar runs replay; no fallback note remains."""
+        argv = [command, "vectoradd", "--scale", "tiny",
+                "--design", "baseline", "--engine", "columnar", "-v"]
+        if command == "trace":
+            argv += ["--out", str(tmp_path / "t.json")]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "falls back" not in err
+        assert "event engine" not in err
+
+    def test_profile_outputs_identical_across_engines(self, capsys, tmp_path):
+        """--metrics-out / --profile-out byte-identity, event vs columnar."""
+        payloads = {}
+        for engine in ("columnar", "event"):
+            metrics = tmp_path / f"m-{engine}.json"
+            profile = tmp_path / f"p-{engine}.json"
+            assert main(
+                ["profile", "matrixmul", "--scale", "tiny",
+                 "--design", "baseline", "--engine", engine,
+                 "--window", "500", "--metrics-out", str(metrics),
+                 "--profile-out", str(profile), "-q"]
+            ) == 0
+            capsys.readouterr()
+            payloads[engine] = (metrics.read_bytes(), profile.read_bytes())
+        assert payloads["columnar"] == payloads["event"]
+
     def test_trace_respects_max_events(self, capsys, tmp_path):
         out_path = tmp_path / "capped.json"
         assert main(
@@ -272,6 +300,21 @@ class TestChipScopeProfileAndTrace:
         assert payload["num_sms"] == 2
         assert validate_chipmetrics(payload) == []
         assert validate_trace(json.loads(trace.read_text())) == []
+
+    def test_chip_profile_metrics_identical_across_engines(
+        self, capsys, tmp_path
+    ):
+        payloads = {}
+        for engine in ("columnar", "event"):
+            metrics = tmp_path / f"cm-{engine}.json"
+            assert main(
+                ["profile", "needle", "--scale", "tiny", "--design", "baseline",
+                 "--sms", "2", "--window", "500", "--engine", engine,
+                 "--metrics-out", str(metrics), "-q"]
+            ) == 0
+            capsys.readouterr()
+            payloads[engine] = metrics.read_bytes()
+        assert payloads["columnar"] == payloads["event"]
 
     def test_chip_trace_covers_all_tracks(self, capsys, tmp_path):
         out_path = tmp_path / "chip.trace.json"
